@@ -1,0 +1,74 @@
+// Ablation: the paper's Figure 3 story, measured. Naive coding (spin on
+// the barrier variable) vs the optimized spin-variable coding vs a
+// dissemination barrier, per mechanism. Nikolopoulos & Papatheodorou
+// report ~25% for optimized-vs-naive at 64 processors on ccNUMA; the AMO
+// column shows naive == efficient, the paper's programming-model claim.
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.hpp"
+#include "sync/barrier.hpp"
+
+namespace {
+
+using namespace amo;
+
+double run_style(std::uint32_t cpus, sync::Mechanism mech, int style,
+                 int episodes) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = cpus;
+  core::Machine m(cfg);
+  std::unique_ptr<sync::Barrier> barrier;
+  switch (style) {
+    case 0: barrier = sync::make_naive_barrier(m, mech, cpus); break;
+    case 1: barrier = sync::make_central_barrier(m, mech, cpus); break;
+    case 2: barrier = sync::make_dissemination_barrier(m, mech, cpus); break;
+    default: barrier = sync::make_mcs_tree_barrier(m, mech, cpus);
+  }
+  sim::Cycle t0 = 0;
+  sim::Cycle t1 = 0;
+  for (sim::CpuId c = 0; c < cpus; ++c) {
+    m.spawn(c, [&, c, episodes](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < episodes + 2; ++ep) {
+        co_await t.compute(t.rng().below(200));
+        co_await barrier->wait(t);
+        if (c == 0 && ep == 1) t0 = t.now();
+        if (c == 0 && ep == episodes + 1) t1 = t.now();
+      }
+    });
+  }
+  m.run();
+  return static_cast<double>(t1 - t0) / episodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64} : opt.cpus;
+  const int episodes = opt.episodes > 0 ? opt.episodes : 8;
+
+  std::printf("\n== Ablation: barrier codings (cycles per episode) ==\n");
+  for (std::uint32_t p : cpus) {
+    std::printf("\nP = %u\n%-10s %12s %12s %12s %12s\n", p, "style",
+                "LL/SC", "Atomic", "MAO", "AMO");
+    const sync::Mechanism mechs[] = {
+        sync::Mechanism::kLlSc, sync::Mechanism::kAtomic,
+        sync::Mechanism::kMao, sync::Mechanism::kAmo};
+    const char* styles[] = {"naive", "optimized", "dissem", "mcs-tree"};
+    for (int s = 0; s < 4; ++s) {
+      std::printf("%-10s", styles[s]);
+      for (sync::Mechanism m : mechs) {
+        std::printf(" %12.0f", run_style(p, m, s, episodes));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected shape: optimized beats naive for conventional "
+      "mechanisms (the Fig. 3(b) trade); for AMO the two are within "
+      "noise — the naive coding is already right.\n");
+  return 0;
+}

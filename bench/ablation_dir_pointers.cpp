@@ -1,0 +1,97 @@
+// Ablation: directory sharer-pointer capacity. The paper's directory
+// structure tracks all 256 processors exactly; real directories (DIR-i-B)
+// keep a handful of pointers and broadcast on overflow.
+//
+// Finding worth knowing: for fully-shared hot variables (a barrier — every
+// processor spins on it) broadcast and exact fan-out coincide, so AMO's
+// put waves are insensitive to pointer budget there. The budget matters
+// for SPARSELY shared variables: here, pairwise producer/consumer flags
+// (2 true sharers each) on machines of growing size — a coarse entry
+// turns every eager put into a machine-wide broadcast.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+namespace {
+
+using namespace amo;
+
+struct Result {
+  double cycles = 0;
+  std::uint64_t update_msgs = 0;
+};
+
+Result run(std::uint32_t cpus, std::uint32_t pointers, int rounds) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.dir.sharer_pointer_limit = pointers;
+  core::Machine m(cfg);
+
+  // Groups of four: cpu 4k produces through an AMO flag; cpus 4k+1..4k+3
+  // consume (spin on cached copies patched by the eager puts). Each flag
+  // has exactly three cached sharers regardless of machine size, so the
+  // exact fan-out is ~2 nodes per put while a coarse entry must touch
+  // every node in the machine.
+  const std::uint32_t groups = cpus / 4;
+  std::vector<sim::Addr> flags;
+  for (std::uint32_t k = 0; k < groups; ++k) {
+    flags.push_back(m.galloc().alloc_word_line(
+        (4 * k + 1) / cfg.cpus_per_node));  // homed near the consumers
+  }
+  for (std::uint32_t k = 0; k < groups; ++k) {
+    m.spawn(4 * k, [&, k, rounds](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int r = 0; r < rounds; ++r) {
+        co_await t.compute(300);
+        (void)co_await t.amo_fetch_add(flags[k], 1);
+      }
+    });
+    for (std::uint32_t j = 1; j <= 3; ++j) {
+      m.spawn(4 * k + j,
+              [&, k, rounds](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int r = 1; r <= rounds; ++r) {
+          while (co_await t.load(flags[k]) <
+                 static_cast<std::uint64_t>(r)) {
+            co_await t.delay(200);
+          }
+          co_await t.compute(100);
+        }
+      });
+    }
+  }
+  m.run();
+  Result res;
+  res.cycles = static_cast<double>(m.engine().now());
+  res.update_msgs = m.stats().dir.word_updates_sent;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 128} : opt.cpus;
+  const int rounds = opt.iters > 0 ? opt.iters : 10;
+  const std::uint32_t limits[] = {0, 8, 1};
+
+  std::printf("\n== Ablation: directory pointer capacity "
+              "(pairwise AMO signalling, cycles | update msgs) ==\n");
+  std::printf("%-6s %18s %18s %18s\n", "CPUs", "full", "8 pointers",
+              "1 pointer");
+  for (std::uint32_t p : cpus) {
+    std::printf("%-6u", p);
+    for (std::uint32_t lim : limits) {
+      const Result r = run(p, lim, rounds);
+      std::printf(" %11.0f|%5llu", r.cycles,
+                  static_cast<unsigned long long>(r.update_msgs));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected shape: with sparse sharing, a small pointer budget "
+      "multiplies update-message counts (broadcast puts) and slows the "
+      "run; a full bit-vector keeps puts at 1 message per signal. For "
+      "fully-shared barrier variables the budget is irrelevant.\n");
+  return 0;
+}

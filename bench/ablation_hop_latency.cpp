@@ -1,0 +1,33 @@
+// Ablation: network hop latency (the paper's motivation — "network
+// latency approaches thousands of processor cycles"). As hops get slower,
+// AMO's advantage over ownership-migration synchronization grows.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  const std::uint32_t p = opt.cpus.empty() ? 64 : opt.cpus.front();
+  const sim::Cycle hops[] = {25, 50, 100, 200, 400};
+
+  std::printf("\n== Ablation: hop latency (P=%u central barriers) ==\n", p);
+  std::printf("%-10s %14s %14s %10s\n", "hop(cyc)", "LL/SC(cyc)", "AMO(cyc)",
+              "speedup");
+  for (sim::Cycle h : hops) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = p;
+    cfg.net.hop_cycles = h;
+    bench::BarrierParams params;
+    if (opt.episodes > 0) params.episodes = opt.episodes;
+    params.mech = sync::Mechanism::kLlSc;
+    const double base = bench::run_barrier(cfg, params).cycles_per_barrier;
+    params.mech = sync::Mechanism::kAmo;
+    const double amo = bench::run_barrier(cfg, params).cycles_per_barrier;
+    std::printf("%-10llu %14.0f %14.0f %9.2fx\n",
+                static_cast<unsigned long long>(h), base, amo, base / amo);
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: AMO speedup grows with hop latency.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: home-centric (4-hop) vs forwarding (3-hop) directory
+// protocol. The paper's UVSIM models the SGI SN2 3-hop protocol; our
+// default is the simpler blocking home-centric variant. This bench
+// quantifies how much that substitution matters for the headline numbers.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 256} : opt.cpus;
+  if (opt.quick) cpus = {16, 32};
+
+  std::printf("\n== Ablation: 4-hop vs 3-hop protocol (central barriers) ==\n");
+  std::printf("%-6s %12s %12s %12s %12s %10s\n", "CPUs", "LLSC/4hop",
+              "LLSC/3hop", "AMO/4hop", "AMO/3hop", "AMO spd 3h");
+  for (std::uint32_t p : cpus) {
+    double llsc[2] = {0, 0};
+    double amo[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      core::SystemConfig cfg;
+      cfg.num_cpus = p;
+      cfg.dir.three_hop = (mode == 1);
+      bench::BarrierParams params;
+      if (opt.episodes > 0) params.episodes = opt.episodes;
+      params.mech = sync::Mechanism::kLlSc;
+      llsc[mode] = bench::run_barrier(cfg, params).cycles_per_barrier;
+      params.mech = sync::Mechanism::kAmo;
+      amo[mode] = bench::run_barrier(cfg, params).cycles_per_barrier;
+    }
+    std::printf("%-6u %12.0f %12.0f %12.0f %12.0f %9.2fx\n", p, llsc[0],
+                llsc[1], amo[0], amo[1], llsc[1] / amo[1]);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected shape: AMO numbers are insensitive to the protocol "
+      "(AMOs rarely recall). For LL/SC, 3-hop cuts *isolated* migration "
+      "latency (see ThreeHop.CutsOwnershipMigrationLatency), but under a "
+      "hot-spot barrier our blocking fill-ack variant slightly lengthens "
+      "per-transaction block occupancy, so throughput is a wash. Either "
+      "way the paper's speedup story is unchanged — which is why the "
+      "home-centric default is a safe substitution (DESIGN.md).\n");
+  return 0;
+}

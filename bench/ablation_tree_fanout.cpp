@@ -1,0 +1,42 @@
+// Ablation: tree branching factor (§4.2.2 — "The best branching factor
+// for a given system is often not intuitive"; Markatos et al. showed a
+// bad tree can be worse than a centralized barrier).
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  const std::uint32_t p = opt.cpus.empty() ? 64 : opt.cpus.front();
+
+  const sync::Mechanism mechs[] = {sync::Mechanism::kLlSc,
+                                   sync::Mechanism::kAtomic,
+                                   sync::Mechanism::kAmo};
+
+  std::printf("\n== Ablation: tree fanout (P=%u, cycles per barrier) ==\n",
+              p);
+  std::printf("%-8s %12s %12s %12s\n", "fanout", "LL/SC", "Atomic", "AMO");
+  // fanout == p degenerates to a central barrier through the tree code.
+  for (std::uint32_t fanout = 2; fanout <= p; fanout *= 2) {
+    std::printf("%-8u", fanout);
+    for (sync::Mechanism m : mechs) {
+      core::SystemConfig cfg;
+      cfg.num_cpus = p;
+      bench::BarrierParams params;
+      params.mech = m;
+      params.kind = bench::BarrierKind::kTree;
+      params.fanout = fanout;
+      if (opt.episodes > 0) params.episodes = opt.episodes;
+      std::printf(" %12.0f",
+                  bench::run_barrier(cfg, params).cycles_per_barrier);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected shape: conventional mechanisms have a non-trivial "
+      "optimum fanout; AMO is flat-to-worse with deeper trees (it does "
+      "not need them).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5: cycles-per-processor of the central barriers vs processor
+// count. The paper's qualitative claims, which this series reproduces:
+//   * LL/SC grows superlinearly in total time (per-proc time rises with P)
+//   * AMO per-processor latency is flat/slightly falling with P
+//     (t = t_o + t_p * P, so t/P -> t_p from above)
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
+  if (opt.quick) cpus = {4, 8, 16, 32};
+
+  const sync::Mechanism mechs[] = {
+      sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
+      sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  bench::print_header("Figure 5: barrier cycles-per-processor", "CPUs",
+                      {"LL/SC", "ActMsg", "Atomic", "MAO", "AMO"});
+  for (std::uint32_t p : cpus) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = p;
+    bench::BarrierParams params;
+    if (opt.episodes > 0) params.episodes = opt.episodes;
+    std::vector<double> row;
+    for (sync::Mechanism m : mechs) {
+      params.mech = m;
+      row.push_back(bench::run_barrier(cfg, params).cycles_per_proc);
+    }
+    bench::print_row(p, row, 1);
+  }
+  std::printf(
+      "\nexpected shape: LL/SC per-proc time rises with P (superlinear "
+      "total); AMO per-proc time is flat and slightly decreasing.\n");
+  return 0;
+}

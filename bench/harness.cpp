@@ -1,0 +1,176 @@
+#include "bench/harness.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace amo::bench {
+
+namespace {
+
+TrafficSnapshot snap(const net::Network& n) {
+  return TrafficSnapshot{n.stats().packets, n.stats().bytes};
+}
+
+}  // namespace
+
+BarrierResult run_barrier(const core::SystemConfig& cfg,
+                          const BarrierParams& params) {
+  core::Machine m(cfg);
+  std::unique_ptr<sync::Barrier> barrier =
+      params.kind == BarrierKind::kCentral
+          ? sync::make_central_barrier(m, params.mech, cfg.num_cpus)
+          : sync::make_tree_barrier(m, params.mech, cfg.num_cpus,
+                                    params.fanout);
+
+  // Thread 0 brackets the measured region: right after its warmup exit and
+  // right after its last measured exit. All threads are within one barrier
+  // of each other at those points.
+  sim::Cycle t_start = 0;
+  sim::Cycle t_end = 0;
+  TrafficSnapshot traffic_start{};
+  TrafficSnapshot traffic_end{};
+
+  const int total = params.warmup_episodes + params.episodes;
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < total; ++ep) {
+        if (params.max_skew > 0) {
+          co_await t.compute(t.rng().below(params.max_skew));
+        }
+        co_await barrier->wait(t);
+        if (c == 0 && ep == params.warmup_episodes - 1) {
+          t_start = t.now();
+          traffic_start = snap(m.network());
+        }
+        if (c == 0 && ep == total - 1) {
+          t_end = t.now();
+          traffic_end = snap(m.network());
+        }
+      }
+    });
+  }
+  m.run();
+
+  BarrierResult r;
+  r.cycles_per_barrier =
+      static_cast<double>(t_end - t_start) / params.episodes;
+  r.cycles_per_proc = r.cycles_per_barrier / cfg.num_cpus;
+  r.traffic.packets = traffic_end.packets - traffic_start.packets;
+  r.traffic.bytes = traffic_end.bytes - traffic_start.bytes;
+  return r;
+}
+
+LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
+  core::Machine m(cfg);
+  std::unique_ptr<sync::Lock> lock =
+      params.array ? sync::make_array_lock(m, params.mech, cfg.num_cpus)
+                   : sync::make_ticket_lock(m, params.mech);
+  // A barrier separates warmup from the measured region so the timing
+  // brackets are clean. It uses processor-side atomics regardless of the
+  // lock mechanism under test; its traffic is excluded via snapshots.
+  auto fence = sync::make_central_barrier(m, sync::Mechanism::kAtomic,
+                                          cfg.num_cpus);
+
+  sim::Cycle t_start = 0;
+  sim::Cycle t_end = 0;
+  TrafficSnapshot traffic_start{};
+  TrafficSnapshot traffic_end{};
+  std::uint32_t finished = 0;
+
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int i = 0; i < params.warmup_iters; ++i) {
+        co_await lock->acquire(t);
+        co_await t.compute(params.cs_cycles);
+        co_await lock->release(t);
+        co_await t.compute(t.rng().below(params.max_skew + 1));
+      }
+      co_await fence->wait(t);
+      if (c == 0) {
+        t_start = t.now();
+        traffic_start = snap(m.network());
+      }
+      for (int i = 0; i < params.iters; ++i) {
+        co_await lock->acquire(t);
+        co_await t.compute(params.cs_cycles);
+        co_await lock->release(t);
+        if (params.max_skew > 0) {
+          co_await t.compute(t.rng().below(params.max_skew));
+        }
+      }
+      // Last finisher closes the measured region.
+      if (++finished == cfg.num_cpus) {
+        t_end = t.now();
+        traffic_end = snap(m.network());
+      }
+    });
+  }
+  m.run();
+
+  LockResult r;
+  r.total_cycles = static_cast<double>(t_end - t_start);
+  r.cycles_per_acquire =
+      r.total_cycles / (static_cast<double>(cfg.num_cpus) * params.iters);
+  r.traffic.packets = traffic_end.packets - traffic_start.packets;
+  r.traffic.bytes = traffic_end.bytes - traffic_start.bytes;
+  return r;
+}
+
+std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus) {
+  std::vector<std::uint32_t> all{4, 8, 16, 32, 64, 128, 256};
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c : all) {
+    if (c >= min_cpus) out.push_back(c);
+  }
+  return out;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--cpus=", 7) == 0) {
+      opt.cpus.clear();
+      const char* p = a + 7;
+      while (*p != '\0') {
+        opt.cpus.push_back(
+            static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
+        p = std::strchr(p, ',');
+        if (p == nullptr) break;
+        ++p;
+      }
+    } else if (std::strncmp(a, "--episodes=", 11) == 0) {
+      opt.episodes = std::atoi(a + 11);
+    } else if (std::strncmp(a, "--iters=", 8) == 0) {
+      opt.iters = std::atoi(a + 8);
+    } else if (std::strcmp(a, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "options: --cpus=a,b,c  --episodes=N  --iters=N  --quick\n");
+      std::exit(0);
+    } else {
+      throw std::runtime_error(std::string("unknown option: ") + a);
+    }
+  }
+  return opt;
+}
+
+void print_header(const std::string& title, const std::string& col0,
+                  const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n%-6s", title.c_str(), col0.c_str());
+  for (const auto& c : cols) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+void print_row(std::uint32_t cpus, const std::vector<double>& values,
+               int precision) {
+  std::printf("%-6u", cpus);
+  for (double v : values) std::printf(" %12.*f", precision, v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace amo::bench

@@ -1,0 +1,78 @@
+// Shared benchmark harness: builds a machine, runs the paper's barrier /
+// lock microbenchmarks over a chosen mechanism, and reports cycles and
+// traffic. Every tableN_*/figN_* binary is a thin sweep over this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "net/network.hpp"
+#include "sync/barrier.hpp"
+#include "sync/lock.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo::bench {
+
+enum class BarrierKind : std::uint8_t { kCentral, kTree };
+
+struct BarrierParams {
+  sync::Mechanism mech = sync::Mechanism::kLlSc;
+  BarrierKind kind = BarrierKind::kCentral;
+  std::uint32_t fanout = 4;     // tree only
+  int warmup_episodes = 2;
+  int episodes = 8;
+  std::uint64_t max_skew = 200;  // random work before each episode
+};
+
+struct TrafficSnapshot {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct BarrierResult {
+  double cycles_per_barrier = 0;
+  double cycles_per_proc = 0;  // Figure 5/6 metric: barrier latency / P
+  TrafficSnapshot traffic;     // network traffic over measured episodes
+};
+
+BarrierResult run_barrier(const core::SystemConfig& cfg,
+                          const BarrierParams& params);
+
+struct LockParams {
+  sync::Mechanism mech = sync::Mechanism::kLlSc;
+  bool array = false;          // false: ticket lock
+  int warmup_iters = 1;
+  int iters = 6;               // acquisitions per processor
+  sim::Cycle cs_cycles = 50;   // critical-section work
+  std::uint64_t max_skew = 200;
+};
+
+struct LockResult {
+  double total_cycles = 0;       // measured-region wall time
+  double cycles_per_acquire = 0; // total / (P * iters)
+  TrafficSnapshot traffic;
+};
+
+LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params);
+
+/// The paper's processor-count axis (Tables 2/4); Table 3 starts at 16.
+std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus = 4);
+
+/// Parses --cpus=a,b,c / --episodes=N / --iters=N style overrides.
+struct CliOptions {
+  std::vector<std::uint32_t> cpus;
+  int episodes = 0;  // 0 = keep default
+  int iters = 0;
+  bool quick = false;  // trimmed sweep for CI
+};
+CliOptions parse_cli(int argc, char** argv);
+
+/// Fixed-width table printing helpers.
+void print_header(const std::string& title, const std::string& col0,
+                  const std::vector<std::string>& cols);
+void print_row(std::uint32_t cpus, const std::vector<double>& values,
+               int precision = 2);
+
+}  // namespace amo::bench

@@ -1,0 +1,66 @@
+// Simulator-kernel microbenchmarks (google-benchmark): event queue
+// throughput, coroutine round trips, and whole-machine simulation rates.
+// These guard the harness's own performance, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "core/machine.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sync/barrier.hpp"
+
+namespace {
+
+using namespace amo;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule(static_cast<sim::Cycle>(i % 97), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+sim::Task<void> ping(sim::Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) co_await engine.delay(1);
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::detach(ping(engine, 10000));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoroutineDelays);
+
+void BM_AmoBarrierMachine(benchmark::State& state) {
+  const auto cpus = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = cpus;
+    core::Machine m(cfg);
+    auto barrier = sync::make_central_barrier(m, sync::Mechanism::kAmo, cpus);
+    for (sim::CpuId c = 0; c < cpus; ++c) {
+      m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int ep = 0; ep < 5; ++ep) co_await barrier->wait(t);
+      });
+    }
+    m.run();
+    events += m.engine().events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events");
+}
+BENCHMARK(BM_AmoBarrierMachine)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 2: speedups of ActMsg / Atomic / MAO / AMO central barriers over
+// the LL/SC baseline, for 4..256 processors.
+//
+// Paper reference (speedup over LL/SC):
+//   CPUs   ActMsg  Atomic   MAO     AMO
+//   4      0.95    1.15     1.21    2.10
+//   8      1.70    1.06     2.70    5.48
+//   16     2.00    1.20     3.61    9.11
+//   32     2.38    1.36     4.20    15.14
+//   64     2.78    1.37     5.14    23.78
+//   128    2.74    1.24     8.02    34.74
+//   256    2.82    1.23     14.70   61.94
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
+  if (opt.quick) cpus = {4, 8, 16, 32};
+
+  const sync::Mechanism mechs[] = {sync::Mechanism::kActMsg,
+                                   sync::Mechanism::kAtomic,
+                                   sync::Mechanism::kMao,
+                                   sync::Mechanism::kAmo};
+
+  bench::print_header("Table 2: barrier speedup over LL/SC", "CPUs",
+                      {"LLSC(cyc)", "ActMsg", "Atomic", "MAO", "AMO"});
+  for (std::uint32_t p : cpus) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = p;
+    bench::BarrierParams params;
+    if (opt.episodes > 0) params.episodes = opt.episodes;
+
+    params.mech = sync::Mechanism::kLlSc;
+    const bench::BarrierResult base = bench::run_barrier(cfg, params);
+
+    std::vector<double> row{base.cycles_per_barrier};
+    for (sync::Mechanism m : mechs) {
+      params.mech = m;
+      const bench::BarrierResult r = bench::run_barrier(cfg, params);
+      row.push_back(base.cycles_per_barrier / r.cycles_per_barrier);
+    }
+    bench::print_row(p, row);
+  }
+  std::printf(
+      "\npaper:  4: 0.95/1.15/1.21/2.10   32: 2.38/1.36/4.20/15.14"
+      "   256: 2.82/1.23/14.70/61.94\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 4: speedups of ticket locks and Anderson array locks over the
+// LL/SC ticket lock, for every mechanism, 4..256 processors.
+//
+// Paper reference (speedup over LL/SC ticket):
+//   CPUs  LLSC(t/a)    ActMsg(t/a)  Atomic(t/a)  MAO(t/a)     AMO(t/a)
+//   4     1.00/0.48    1.08/0.47    0.92/0.53    1.01/0.57    1.95/1.31
+//   16    1.00/0.60    2.18/0.65    0.93/0.67    1.07/0.62    2.20/2.41
+//   64    1.00/1.42    0.60/1.42    0.80/1.60    0.64/1.49    4.90/5.45
+//   256   1.00/2.71    0.97/2.92    1.22/3.25    0.90/3.13    10.36/10.05
+//
+// Headline claims: for conventional mechanisms the array lock loses below
+// ~32 CPUs and wins above; AMO lifts both far above everything else and
+// makes ticket-vs-array a wash.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amo;
+  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  std::vector<std::uint32_t> cpus =
+      opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
+  if (opt.quick) cpus = {4, 8, 16};
+
+  const sync::Mechanism mechs[] = {
+      sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
+      sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  bench::print_header(
+      "Table 4: lock speedups over the LL/SC ticket lock", "CPUs",
+      {"LLSC(cyc)", "LLSC.t", "LLSC.a", "ActMsg.t", "ActMsg.a", "Atomic.t",
+       "Atomic.a", "MAO.t", "MAO.a", "AMO.t", "AMO.a"});
+  for (std::uint32_t p : cpus) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = p;
+    bench::LockParams params;
+    if (opt.iters > 0) params.iters = opt.iters;
+
+    params.mech = sync::Mechanism::kLlSc;
+    params.array = false;
+    const double base = bench::run_lock(cfg, params).total_cycles;
+
+    std::vector<double> row{base};
+    for (sync::Mechanism m : mechs) {
+      for (bool array : {false, true}) {
+        if (m == sync::Mechanism::kLlSc && !array) continue;  // the baseline
+        params.mech = m;
+        params.array = array;
+        row.push_back(base / bench::run_lock(cfg, params).total_cycles);
+      }
+    }
+    // Insert the baseline's 1.00 for readability.
+    row.insert(row.begin() + 1, 1.0);
+    // row layout: base cycles, LLSC.t(=1), LLSC.a, ActMsg.t, ActMsg.a, ...
+    bench::print_row(p, row);
+  }
+  std::printf(
+      "\npaper: 4: AMO 1.95/1.31   64: LLSC.a 1.42, AMO 4.90/5.45"
+      "   256: AMO 10.36/10.05\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Dynamic load balancing from a shared work queue — the classic use of a
+// spin lock. Workers pull variable-cost tasks from a queue guarded by a
+// ticket lock; we run the same workload over every mechanism and compare
+// makespan and balance.
+//
+// This is where lock handoff latency matters: with short tasks the lock
+// becomes the bottleneck and the AMO ticket lock's cheap handoff shows.
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sync/lock.hpp"
+
+namespace {
+
+using namespace amo;
+
+constexpr std::uint32_t kCpus = 16;
+constexpr std::uint32_t kTasks = 128;
+
+struct RunResult {
+  sim::Cycle makespan = 0;
+  std::uint32_t min_tasks = 0;
+  std::uint32_t max_tasks = 0;
+};
+
+RunResult run(sync::Mechanism mech) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = kCpus;
+  core::Machine m(cfg);
+
+  // Queue state in simulated memory: a head index; task costs are derived
+  // from the task id (deterministic, heavy tail).
+  const sim::Addr head = m.galloc().alloc_word_line(0);
+  auto lock = sync::make_ticket_lock(m, mech);
+
+  std::vector<std::uint32_t> done_per_cpu(kCpus, 0);
+  for (sim::CpuId c = 0; c < kCpus; ++c) {
+    m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
+      for (;;) {
+        co_await lock->acquire(t);
+        const std::uint64_t id = co_await t.load(head);
+        if (id < kTasks) co_await t.store(head, id + 1);
+        co_await lock->release(t);
+        if (id >= kTasks) break;
+        // "Process" the task: cost between 200 and ~3000 cycles.
+        const sim::Cycle cost = 200 + (id * 2654435761u) % 2800;
+        co_await t.compute(cost);
+        ++done_per_cpu[c];
+      }
+    });
+  }
+  m.run();
+
+  RunResult r;
+  r.makespan = m.engine().now();
+  r.min_tasks = done_per_cpu[0];
+  r.max_tasks = done_per_cpu[0];
+  for (std::uint32_t n : done_per_cpu) {
+    r.min_tasks = std::min(r.min_tasks, n);
+    r.max_tasks = std::max(r.max_tasks, n);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("shared task queue: %u tasks, %u workers, ticket locks\n\n",
+              kTasks, kCpus);
+  std::printf("%-8s %14s %18s\n", "lock", "makespan(cyc)", "tasks/worker");
+  for (sync::Mechanism mech : sync::kAllMechanisms) {
+    const RunResult r = run(mech);
+    std::printf("%-8s %14llu %10u..%u\n", sync::to_string(mech),
+                static_cast<unsigned long long>(r.makespan), r.min_tasks,
+                r.max_tasks);
+  }
+  std::printf(
+      "\nAll mechanisms process every task; the makespan difference is "
+      "pure lock handoff cost.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The AMO instruction set. The paper evaluates amo.inc and amo.fetchadd
+// and mentions "a wide range of AMO instructions" under consideration —
+// the richer set here (swap/cas/bitwise/min/max) is that extension.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace amo::amu {
+
+enum class AmoOpcode : std::uint8_t {
+  kInc,       // value + 1              (amo.inc)
+  kDec,       // value - 1
+  kFetchAdd,  // value + operand        (amo.fetchadd)
+  kSwap,      // operand
+  kCas,       // operand2 if value == operand
+  kAnd,       // value & operand
+  kOr,        // value | operand
+  kXor,       // value ^ operand
+  kMin,       // min(value, operand), unsigned
+  kMax,       // max(value, operand), unsigned
+};
+
+[[nodiscard]] const char* to_string(AmoOpcode op);
+
+/// Applies an opcode to the current memory value; returns the new value.
+[[nodiscard]] inline std::uint64_t apply(AmoOpcode op, std::uint64_t value,
+                                         std::uint64_t operand,
+                                         std::uint64_t operand2) {
+  switch (op) {
+    case AmoOpcode::kInc: return value + 1;
+    case AmoOpcode::kDec: return value - 1;
+    case AmoOpcode::kFetchAdd: return value + operand;
+    case AmoOpcode::kSwap: return operand;
+    case AmoOpcode::kCas: return value == operand ? operand2 : value;
+    case AmoOpcode::kAnd: return value & operand;
+    case AmoOpcode::kOr: return value | operand;
+    case AmoOpcode::kXor: return value ^ operand;
+    case AmoOpcode::kMin: return std::min(value, operand);
+    case AmoOpcode::kMax: return std::max(value, operand);
+  }
+  return value;
+}
+
+}  // namespace amo::amu

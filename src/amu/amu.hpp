@@ -1,0 +1,121 @@
+// The Active Memory Unit: a small function unit plus an N-word cache on
+// the home memory controller.
+//
+// Requests are dispatched in order; an AMU-cache hit completes in
+// `op_cycles` (the paper's "two [hub] cycles") independent of contention.
+// Coherent requests (AMOs) fetch their operand through the directory's
+// fine-grained word get and push results with word put; the *put policy*
+// implements the paper's delayed update:
+//
+//   * request carries a test value  -> put only when result == test
+//     (barrier: one update wave when the count reaches P)
+//   * no test value                 -> eager put on every operation
+//     (lock fetchadd: spinners' copies are patched in place)
+//
+// Non-coherent requests (MAOs, as on Origin 2000 / T3E) use the same
+// datapath but read/write memory directly — software must keep MAO
+// variables out of processor caches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "amu/amo_ops.hpp"
+#include "coh/agents.hpp"
+#include "coh/directory.hpp"
+#include "mem/backing.hpp"
+#include "mem/dram.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace amo::amu {
+
+struct AmuConfig {
+  std::uint32_t cache_words = 8;  // paper: eight-word AMU cache
+  sim::Cycle op_cycles = 8;       // 2 hub cycles @ 500 MHz = 8 CPU cycles
+  bool eager_put_all = false;     // ablation: ignore test values
+};
+
+struct AmuStats {
+  std::uint64_t ops = 0;
+  std::uint64_t amo_ops = 0;
+  std::uint64_t mao_ops = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t puts_suppressed = 0;  // silent ops (result == old value)
+  sim::Accum queue_depth;
+};
+
+struct AmoRequest {
+  AmoOpcode op = AmoOpcode::kInc;
+  sim::Addr addr = 0;
+  std::uint64_t operand = 0;
+  std::uint64_t operand2 = 0;  // CAS new-value
+  bool has_test = false;
+  std::uint64_t test = 0;
+  bool coherent = true;  // true: AMO, false: MAO
+  std::function<void(std::uint64_t)> reply;  // receives the *old* value
+};
+
+class Amu final : public coh::AmuIface {
+ public:
+  Amu(sim::Engine& engine, sim::NodeId node, coh::Directory& dir,
+      mem::Backing& backing, mem::Dram& dram, const AmuConfig& config,
+      sim::Tracer* tracer = nullptr);
+
+  /// Enqueues a request (arrival time at the hub). Replies, puts, and
+  /// cache maintenance all happen as the queue drains in order.
+  void submit(AmoRequest req);
+
+  // ---- coh::AmuIface ----
+  [[nodiscard]] bool holds_word(sim::Addr addr) const override;
+  [[nodiscard]] std::uint64_t peek_word(sim::Addr addr) const override;
+  void store_word(sim::Addr addr, std::uint64_t value) override;
+  void drop_block(sim::Addr block) override;
+
+  [[nodiscard]] const AmuStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_len() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    sim::Addr addr = 0;
+    std::uint64_t value = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool coherent = true;
+    std::uint64_t lru = 0;
+  };
+
+  Entry* lookup(sim::Addr addr);
+  [[nodiscard]] const Entry* lookup(sim::Addr addr) const;
+  /// Installs a word, evicting (and flushing) the LRU entry if full.
+  Entry& install(sim::Addr addr, std::uint64_t value, bool coherent);
+  void evict(Entry& entry);
+
+  void pump();
+  /// Runs the hit/miss datapath for one request; retries from scratch if
+  /// the word is dropped (coherence flush) before the op commits.
+  void start(AmoRequest req);
+  void execute(AmoRequest& req, Entry& entry);
+
+  sim::Engine& engine_;
+  sim::NodeId node_;
+  coh::Directory& dir_;
+  mem::Backing& backing_;
+  mem::Dram& dram_;
+  AmuConfig config_;
+  sim::Tracer* tracer_;
+
+  std::deque<AmoRequest> queue_;
+  bool dispatching_ = false;
+  std::vector<Entry> entries_;
+  std::uint64_t lru_clock_ = 0;
+  AmuStats stats_;
+};
+
+}  // namespace amo::amu

@@ -1,0 +1,346 @@
+#include "coh/cache_ctrl.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace amo::coh {
+
+CacheCtrl::CacheCtrl(sim::Engine& engine, Wiring& wiring, Agents& agents,
+                     sim::CpuId cpu, const CacheCtrlConfig& config,
+                     sim::Tracer* tracer)
+    : engine_(engine),
+      wiring_(wiring),
+      agents_(agents),
+      cpu_(cpu),
+      node_(wiring.node_of(cpu)),
+      config_(config),
+      sizes_{config.l2.line_bytes},
+      tracer_(tracer),
+      l2_(config.l2),
+      l1_(config.l1) {
+  assert(config.l1.line_bytes == config.l2.line_bytes &&
+         "L1 filter is kept inclusive at L2 line granularity");
+}
+
+// ----------------------------------------------------------- thread API
+
+sim::Task<std::uint64_t> CacheCtrl::load(sim::Addr addr) {
+  ++stats_.loads;
+  co_await engine_.delay(config_.l1_cycles);
+  if (l1_.probe(addr)) {
+    mem::Cache::Line* line = l2_.find(addr, /*touch=*/false);
+    assert(line != nullptr && "L1 filter must be inclusive in L2");
+    co_return l2_.read_word(*line, addr);
+  }
+  co_await engine_.delay(config_.l2_cycles);
+  for (;;) {
+    mem::Cache::Line* line = l2_.find(addr);
+    if (line != nullptr) {
+      l1_.fill(addr);
+      co_return l2_.read_word(*line, addr);
+    }
+    co_await request_line(addr, /*want_m=*/false);
+  }
+}
+
+sim::Task<void> CacheCtrl::store(sim::Addr addr, std::uint64_t value) {
+  ++stats_.stores;
+  co_await engine_.delay(config_.l2_cycles);
+  for (;;) {
+    mem::Cache::Line* line = l2_.find(addr);
+    if (line != nullptr && (line->state == mem::LineState::kModified ||
+                            line->state == mem::LineState::kExclusive)) {
+      line->state = mem::LineState::kModified;
+      l2_.write_word(*line, addr, value);
+      l1_.fill(addr);
+      break_link_if(l2_.line_base(addr));  // a local write breaks LL
+      notify_line(l2_.line_base(addr));    // wake same-core spinners
+      co_return;
+    }
+    co_await request_line(addr, /*want_m=*/true);
+  }
+}
+
+sim::Task<std::uint64_t> CacheCtrl::load_linked(sim::Addr addr) {
+  ++stats_.ll;
+  const std::uint64_t value = co_await load(addr);
+  link_valid_ = true;
+  link_block_ = l2_.line_base(addr);
+  co_return value;
+}
+
+sim::Task<bool> CacheCtrl::store_conditional(sim::Addr addr,
+                                             std::uint64_t value) {
+  const sim::Addr block = l2_.line_base(addr);
+  co_await engine_.delay(config_.l2_cycles);
+  for (;;) {
+    if (!link_valid_ || link_block_ != block) {
+      ++stats_.sc_fail;
+      co_return false;
+    }
+    mem::Cache::Line* line = l2_.find(addr);
+    if (line != nullptr && (line->state == mem::LineState::kModified ||
+                            line->state == mem::LineState::kExclusive)) {
+      // Exclusive and the link survived: the SC commits atomically.
+      line->state = mem::LineState::kModified;
+      l2_.write_word(*line, addr, value);
+      l1_.fill(addr);
+      link_valid_ = false;
+      ++stats_.sc_success;
+      notify_line(block);
+      co_return true;
+    }
+    co_await request_line(addr, /*want_m=*/true);
+  }
+}
+
+sim::Task<std::uint64_t> CacheCtrl::atomic_rmw(amu::AmoOpcode op,
+                                               sim::Addr addr,
+                                               std::uint64_t operand,
+                                               std::uint64_t operand2) {
+  ++stats_.atomics;
+  co_await engine_.delay(config_.l2_cycles);
+  for (;;) {
+    mem::Cache::Line* line = l2_.find(addr);
+    if (line != nullptr && (line->state == mem::LineState::kModified ||
+                            line->state == mem::LineState::kExclusive)) {
+      co_await engine_.delay(config_.atomic_cycles);
+      // Re-check: the RMW window could lose the line to a recall.
+      line = l2_.find(addr, /*touch=*/false);
+      if (line == nullptr || (line->state != mem::LineState::kModified &&
+                              line->state != mem::LineState::kExclusive)) {
+        continue;
+      }
+      const std::uint64_t old = l2_.read_word(*line, addr);
+      line->state = mem::LineState::kModified;
+      l2_.write_word(*line, addr, amu::apply(op, old, operand, operand2));
+      l1_.fill(addr);
+      break_link_if(l2_.line_base(addr));
+      notify_line(l2_.line_base(addr));
+      co_return old;
+    }
+    co_await request_line(addr, /*want_m=*/true);
+  }
+}
+
+// ----------------------------------------------------------- miss path
+
+sim::Task<void> CacheCtrl::request_line(sim::Addr addr, bool want_m) {
+  const sim::Addr block = l2_.line_base(addr);
+  auto it = mshr_.find(block);
+  if (it == mshr_.end()) {
+    it = mshr_.emplace(block, Mshr{}).first;
+    mem::Cache::Line* line = l2_.find(addr, /*touch=*/false);
+    Directory& dir = home_dir(addr);
+    if (line != nullptr && want_m) {
+      // S -> M: upgrade; pin so the set can't evict the upgrading line.
+      assert(line->state == mem::LineState::kShared);
+      line->pinned = true;
+      ++stats_.miss_upgrade;
+      wiring_.post(node_, dir.node(), net::MsgClass::kRequest, sizes_.ctrl(),
+                   [&dir, cpu = cpu_, block] { dir.on_upgrade(cpu, block); });
+    } else if (want_m) {
+      ++stats_.miss_getx;
+      wiring_.post(node_, dir.node(), net::MsgClass::kRequest, sizes_.ctrl(),
+                   [&dir, cpu = cpu_, block] { dir.on_getx(cpu, block); });
+    } else {
+      ++stats_.miss_gets;
+      wiring_.post(node_, dir.node(), net::MsgClass::kRequest, sizes_.ctrl(),
+                   [&dir, cpu = cpu_, block] { dir.on_gets(cpu, block); });
+    }
+  }
+  // Join the outstanding request (ours or a sibling context's). If the
+  // sibling's request brings the line in the wrong state, the caller's
+  // retry loop issues a follow-up.
+  sim::Promise<std::uint64_t> p(engine_);
+  it->second.waiters.push_back(p);
+  co_await p.get_future();
+}
+
+void CacheCtrl::handle_victim(const mem::Cache::Victim& victim) {
+  l1_.invalidate(victim.block);
+  break_link_if(victim.block);
+  Directory& dir = home_dir(victim.block);
+  if (victim.state == mem::LineState::kModified) {
+    ++stats_.writebacks;
+    wiring_.post(node_, dir.node(), net::MsgClass::kWriteback, sizes_.data(),
+                 [&dir, cpu = cpu_, block = victim.block,
+                  data = victim.data] { dir.on_putm(cpu, block, data); });
+  } else if (victim.state == mem::LineState::kExclusive) {
+    wiring_.post(node_, dir.node(), net::MsgClass::kWriteback, sizes_.ctrl(),
+                 [&dir, cpu = cpu_, block = victim.block] {
+                   dir.on_pute(cpu, block);
+                 });
+  }
+  // Shared victims are dropped silently (Origin-style); the directory's
+  // sharer list goes stale and stray invalidations are simply acked.
+}
+
+sim::Future<std::uint64_t> CacheCtrl::line_event(sim::Addr addr) {
+  const sim::Addr block = l2_.line_base(addr);
+  sim::Promise<std::uint64_t> p(engine_);
+  line_waiters_[block].push_back(p);
+  return p.get_future();
+}
+
+void CacheCtrl::notify_line(sim::Addr block) {
+  auto it = line_waiters_.find(block);
+  if (it == line_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  line_waiters_.erase(it);
+  for (auto& p : waiters) {
+    if (!p.completed()) p.set_value(0);
+  }
+}
+
+void CacheCtrl::complete_mshr(sim::Addr block) {
+  auto it = mshr_.find(block);
+  if (it == mshr_.end()) return;
+  Mshr m = std::move(it->second);
+  mshr_.erase(it);
+  for (auto& p : m.waiters) p.set_value(0);
+}
+
+// ----------------------------------------------------------- CacheIface
+
+void CacheCtrl::on_data(sim::Addr block, bool exclusive,
+                        std::vector<std::uint64_t> data) {
+  mem::Cache::Line* line = l2_.find(block, /*touch=*/false);
+  if (line != nullptr) {
+    // An upgrade that degenerated to GetX, or an S line refreshed: adopt
+    // the authoritative copy and the granted state.
+    line->state =
+        exclusive ? mem::LineState::kExclusive : mem::LineState::kShared;
+    line->data = std::move(data);
+    line->pinned = false;
+  } else {
+    auto victim = l2_.insert(
+        block,
+        exclusive ? mem::LineState::kExclusive : mem::LineState::kShared,
+        data);
+    if (victim.has_value()) handle_victim(*victim);
+  }
+  l1_.fill(block);
+  // A data response means our old copy (if any) was not authoritative —
+  // e.g. an upgrade degraded to GetX over an AMU-modified block. Any LL
+  // link on this block guards a potentially stale value: break it.
+  break_link_if(block);
+  complete_mshr(block);
+  notify_line(block);
+}
+
+void CacheCtrl::on_upgrade_ack(sim::Addr block) {
+  mem::Cache::Line* line = l2_.find(block, /*touch=*/false);
+  assert(line != nullptr && "upgraded line must be pinned resident");
+  assert(line->state == mem::LineState::kShared);
+  line->state = mem::LineState::kExclusive;
+  line->pinned = false;
+  complete_mshr(block);
+}
+
+void CacheCtrl::on_inval(sim::Addr block) {
+  ++stats_.invals;
+  auto victim = l2_.invalidate(block);
+  if (victim.has_value()) {
+    assert(victim->state == mem::LineState::kShared &&
+           "home only invalidates sharers");
+  }
+  l1_.invalidate(block);
+  break_link_if(block);
+  notify_line(block);
+  Directory& dir = home_dir(block);
+  // Probe service time before the ack leaves the node.
+  engine_.schedule(config_.probe_resp_cycles, [this, &dir, block] {
+    wiring_.post(node_, dir.node(), net::MsgClass::kAck, sizes_.ctrl(),
+                 [&dir, cpu = cpu_, block] { dir.on_inv_ack(cpu, block); });
+  });
+}
+
+void CacheCtrl::on_recall(sim::Addr block, bool exclusive,
+                          sim::CpuId fwd_to) {
+  ++stats_.recalls;
+  Directory& dir = home_dir(block);
+  mem::Cache::Line* line = l2_.find(block, /*touch=*/false);
+  if (line == nullptr || line->state == mem::LineState::kShared) {
+    // Gone (a putback crossed this recall) or already downgraded; the
+    // S case can't normally occur, but answer conservatively. The home
+    // falls back to serving the data itself, so no forwarding happens.
+    const bool had = false;
+    engine_.schedule(config_.probe_resp_cycles, [this, &dir, block, had] {
+      wiring_.post(node_, dir.node(), net::MsgClass::kAck, sizes_.ctrl(),
+                   [&dir, cpu = cpu_, block, had] {
+                     dir.on_recall_resp(cpu, block, had, false, {});
+                   });
+    });
+    return;
+  }
+  const bool dirty = line->state == mem::LineState::kModified;
+  std::vector<std::uint64_t> data = line->data;
+  if (exclusive) {
+    l2_.invalidate(block);
+    l1_.invalidate(block);
+    break_link_if(block);
+    notify_line(block);
+  } else {
+    line->state = mem::LineState::kShared;
+  }
+
+  if (fwd_to != sim::kInvalidCpu) {
+    // Three-hop: ship the data straight to the requestor. After install,
+    // the requestor acks the home so the blocking directory can move on
+    // (Origin's "revision" handshake).
+    CacheIface* target = agents_.caches[fwd_to];
+    const sim::NodeId target_node = wiring_.node_of(fwd_to);
+    engine_.schedule(config_.probe_resp_cycles, [this, target, target_node,
+                                                 &dir, block, exclusive,
+                                                 fwd_to, data] {
+      wiring_.post(
+          node_, target_node, net::MsgClass::kResponse, sizes_.data(),
+          [this, target, target_node, &dir, block, exclusive, fwd_to,
+           data] {
+            target->on_data(block, exclusive, data);
+            wiring_.post(target_node, dir.node(), net::MsgClass::kAck,
+                         sizes_.ctrl(), [&dir, fwd_to, block] {
+                           dir.on_fill_ack(fwd_to, block);
+                         });
+          });
+    });
+    // Revision to home: dirty data always goes back to memory, so the
+    // requestor's clean-exclusive install stays consistent with it (a
+    // later silent PutE must not lose modified data).
+    const bool send_data = dirty;
+    engine_.schedule(config_.probe_resp_cycles,
+                     [this, &dir, block, send_data, dirty,
+                      data = std::move(data)] {
+      wiring_.post(node_, dir.node(), net::MsgClass::kWriteback,
+                   send_data ? sizes_.data() : sizes_.ctrl(),
+                   [&dir, cpu = cpu_, block, send_data, dirty, data] {
+                     dir.on_recall_resp(cpu, block, /*had_line=*/true,
+                                        /*dirty=*/send_data && dirty, data);
+                   });
+    });
+    return;
+  }
+
+  engine_.schedule(config_.probe_resp_cycles,
+                   [this, &dir, block, dirty, data = std::move(data)] {
+    wiring_.post(node_, dir.node(), net::MsgClass::kWriteback,
+                 dirty ? sizes_.data() : sizes_.ctrl(),
+                 [&dir, cpu = cpu_, block, dirty, data] {
+                   dir.on_recall_resp(cpu, block, /*had_line=*/true, dirty,
+                                      data);
+                 });
+  });
+}
+
+void CacheCtrl::on_word_update(sim::Addr addr, std::uint64_t value) {
+  mem::Cache::Line* line = l2_.find(addr, /*touch=*/false);
+  if (line == nullptr) return;  // stale sharer: drop; a reload re-fetches
+  ++stats_.word_updates;
+  ++l2_.stats().word_updates;
+  l2_.write_word(*line, addr, value);
+  break_link_if(l2_.line_base(addr));  // the word changed under the LL
+  notify_line(l2_.line_base(addr));
+}
+
+}  // namespace amo::coh

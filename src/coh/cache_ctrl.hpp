@@ -1,0 +1,155 @@
+// Per-core cache controller: the coherent agent between a core's threads
+// and the directory protocol.
+//
+// It owns the core's L2 (tags, state, data) and an L1D tag filter kept
+// inclusive with L2. Simulated threads call the coroutine API (load /
+// store / LL / SC / processor-side atomic); the directory calls the
+// CacheIface entry points (data, invalidations, recalls, word updates).
+//
+// Concurrency: a core has up to two contexts (the main thread and the
+// active-message server), so the controller supports multiple outstanding
+// misses through per-block MSHRs with waiter lists. Completion wakes the
+// waiters, which *re-check* the line state — any race (a same-cycle
+// invalidation, a stolen line) is resolved by retrying.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "amu/amo_ops.hpp"
+#include "coh/agents.hpp"
+#include "coh/directory.hpp"
+#include "coh/protocol.hpp"
+#include "coh/wiring.hpp"
+#include "mem/cache.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace amo::coh {
+
+struct CacheCtrlConfig {
+  mem::CacheGeometry l1{32 * 1024, 2, 128};
+  mem::CacheGeometry l2{2 * 1024 * 1024, 4, 128};
+  sim::Cycle l1_cycles = 2;
+  sim::Cycle l2_cycles = 10;
+  sim::Cycle atomic_cycles = 8;  // RMW latency once the line is exclusive
+  /// Latency to service an external probe (recall / invalidation): tag
+  /// lookup, state machine, and response queueing at the cache.
+  sim::Cycle probe_resp_cycles = 40;
+};
+
+struct CacheCtrlStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t ll = 0;
+  std::uint64_t sc_success = 0;
+  std::uint64_t sc_fail = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t miss_gets = 0;
+  std::uint64_t miss_getx = 0;
+  std::uint64_t miss_upgrade = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t invals = 0;
+  std::uint64_t word_updates = 0;
+  std::uint64_t writebacks = 0;
+};
+
+class CacheCtrl final : public CacheIface {
+ public:
+  CacheCtrl(sim::Engine& engine, Wiring& wiring, Agents& agents,
+            sim::CpuId cpu, const CacheCtrlConfig& config,
+            sim::Tracer* tracer = nullptr);
+
+  // ------------------------------------------------- thread-facing API
+  /// Coherent 8-byte load.
+  sim::Task<std::uint64_t> load(sim::Addr addr);
+  /// Coherent 8-byte store (obtains M state).
+  sim::Task<void> store(sim::Addr addr, std::uint64_t value);
+  /// Load-linked: load + arm the link register for this line.
+  sim::Task<std::uint64_t> load_linked(sim::Addr addr);
+  /// Store-conditional: succeeds iff the link is still armed once the
+  /// line is exclusive. Fails fast if the link has already been broken.
+  sim::Task<bool> store_conditional(sim::Addr addr, std::uint64_t value);
+  /// Processor-side atomic (the paper's "Atomic" mechanism): acquires
+  /// ownership, then performs the read-modify-write in the cache. The
+  /// opcode set mirrors the AMU's (amu::AmoOpcode semantics).
+  sim::Task<std::uint64_t> atomic_rmw(amu::AmoOpcode op, sim::Addr addr,
+                                      std::uint64_t operand,
+                                      std::uint64_t operand2 = 0);
+  sim::Task<std::uint64_t> atomic_fetch_add(sim::Addr addr,
+                                            std::uint64_t delta) {
+    return atomic_rmw(amu::AmoOpcode::kFetchAdd, addr, delta);
+  }
+
+  // ---------------------------------------------------- CacheIface
+  void on_data(sim::Addr block, bool exclusive,
+               std::vector<std::uint64_t> data) override;
+  void on_upgrade_ack(sim::Addr block) override;
+  void on_inval(sim::Addr block) override;
+  void on_recall(sim::Addr block, bool exclusive,
+                 sim::CpuId fwd_to) override;
+  void on_word_update(sim::Addr addr, std::uint64_t value) override;
+
+  // ------------------------------------------------- spin-wait support
+  /// Future that completes at the next coherence event touching `addr`'s
+  /// line (data fill, invalidation, word update, local write). Spin loops
+  /// use it to sleep between polls without burning simulated or host
+  /// cycles; they must still re-poll on a fallback timer, since an event
+  /// can slip between the poll and the registration.
+  [[nodiscard]] sim::Future<std::uint64_t> line_event(sim::Addr addr);
+
+  // ---------------------------------------------------- introspection
+  [[nodiscard]] sim::CpuId cpu() const { return cpu_; }
+  [[nodiscard]] sim::NodeId node() const { return node_; }
+  [[nodiscard]] mem::Cache& l2() { return l2_; }
+  [[nodiscard]] const mem::Cache& l2() const { return l2_; }
+  [[nodiscard]] const CacheCtrlStats& stats() const { return stats_; }
+  [[nodiscard]] bool link_armed() const { return link_valid_; }
+
+ private:
+  struct Mshr {
+    std::vector<sim::Promise<std::uint64_t>> waiters;
+  };
+
+  /// Brings the line in (S for loads, M for writes); returns when the
+  /// request that was outstanding for this block completed. Callers loop.
+  sim::Task<void> request_line(sim::Addr addr, bool want_m);
+
+  /// Runs victim writeback (PutM/PutE) and L1/link maintenance.
+  void handle_victim(const mem::Cache::Victim& victim);
+
+  void break_link_if(sim::Addr block) {
+    if (link_valid_ && link_block_ == block) link_valid_ = false;
+  }
+
+  [[nodiscard]] Directory& home_dir(sim::Addr addr) {
+    return *agents_.dirs[home_of(addr)];
+  }
+
+  void complete_mshr(sim::Addr block);
+  void notify_line(sim::Addr block);
+
+  sim::Engine& engine_;
+  Wiring& wiring_;
+  Agents& agents_;
+  sim::CpuId cpu_;
+  sim::NodeId node_;
+  CacheCtrlConfig config_;
+  MsgSizes sizes_;
+  sim::Tracer* tracer_;
+
+  mem::Cache l2_;
+  mem::TagCache l1_;
+  std::unordered_map<sim::Addr, Mshr> mshr_;
+  std::unordered_map<sim::Addr, std::vector<sim::Promise<std::uint64_t>>>
+      line_waiters_;
+
+  bool link_valid_ = false;
+  sim::Addr link_block_ = 0;
+
+  CacheCtrlStats stats_;
+};
+
+}  // namespace amo::coh

@@ -1,0 +1,111 @@
+// Message transport between protocol agents (cache controllers,
+// directories, AMUs). Remote traffic goes through the Network (with link
+// contention and accounting); on-node traffic takes a fixed hub-local
+// latency and is counted separately.
+//
+// Payloads travel as closures: the sender captures the typed call it wants
+// executed at the destination, so no central message variant is needed and
+// responses can complete sim::Promise values directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace amo::coh {
+
+class Directory;
+class CacheCtrl;
+
+struct LocalStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Wiring {
+ public:
+  Wiring(sim::Engine& engine, net::Network& network,
+         std::uint32_t cpus_per_node, sim::Cycle local_cycles,
+         sim::Cycle bus_cycles = 20)
+      : engine_(engine),
+        network_(network),
+        cpus_per_node_(cpus_per_node),
+        local_cycles_(local_cycles),
+        bus_cycles_(bus_cycles) {}
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] sim::NodeId node_of(sim::CpuId cpu) const {
+    return cpu / cpus_per_node_;
+  }
+  [[nodiscard]] std::uint32_t cpus_per_node() const { return cpus_per_node_; }
+
+  /// Delivers `fn` at node `to`, travelling from node `from`. Chooses the
+  /// network or the hub-local path automatically.
+  void post(sim::NodeId from, sim::NodeId to, net::MsgClass cls,
+            std::uint32_t bytes, std::function<void()> fn) {
+    if (from == to) {
+      ++local_.messages;
+      local_.bytes += bytes;
+      engine_.schedule(local_cycles_, std::move(fn));
+      return;
+    }
+    // Remote path pays the CPU<->hub system-bus crossing on both ends
+    // (Table 1's 16B/8B system bus). Injection is delayed, so network
+    // link reservations still happen in event-time order (FIFO holds).
+    engine_.schedule(bus_cycles_, [this, from, to, cls, bytes,
+                                   fn = std::move(fn)]() mutable {
+      network_.send(net::Packet{
+          from, to, cls, bytes,
+          [this, fn = std::move(fn)]() mutable {
+            engine_.schedule(bus_cycles_, std::move(fn));
+          }});
+    });
+  }
+
+  /// Word-update fan-out from `from` to a set of nodes (the AMO "put"
+  /// wave). Uses hardware multicast when configured.
+  void post_update(sim::NodeId from, std::span<const sim::NodeId> nodes,
+                   std::uint32_t bytes,
+                   const std::function<void(sim::NodeId)>& deliver) {
+    // Local target (if any) is delivered at hub latency.
+    for (sim::NodeId n : nodes) {
+      if (n == from) {
+        ++local_.messages;
+        local_.bytes += bytes;
+        engine_.schedule(local_cycles_, [deliver, n] { deliver(n); });
+      }
+    }
+    // Remote targets pay the same bus crossings as post(): updates and
+    // data replies MUST share one injection pipeline, or an update could
+    // overtake an in-flight line fill and be dropped at the cache.
+    std::vector<sim::NodeId> remote(nodes.begin(), nodes.end());
+    engine_.schedule(bus_cycles_, [this, from, bytes, deliver,
+                                   remote = std::move(remote)] {
+      network_.multicast(from, remote, net::MsgClass::kUpdate, bytes,
+                         [this, deliver](sim::NodeId n) {
+                           engine_.schedule(bus_cycles_,
+                                            [deliver, n] { deliver(n); });
+                         });
+    });
+  }
+
+  [[nodiscard]] const LocalStats& local_stats() const { return local_; }
+  [[nodiscard]] sim::Cycle local_cycles() const { return local_cycles_; }
+
+ private:
+  sim::Engine& engine_;
+  net::Network& network_;
+  std::uint32_t cpus_per_node_;
+  sim::Cycle local_cycles_;
+  sim::Cycle bus_cycles_;
+  LocalStats local_;
+};
+
+}  // namespace amo::coh

@@ -1,0 +1,241 @@
+#include "core/machine.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace amo::core {
+
+Machine::Machine(const SystemConfig& config)
+    : config_(config), backing_(config.line_bytes()), rng_(config.seed) {
+  const std::uint32_t nodes = config_.num_nodes();
+  net::NetConfig net_cfg = config_.net;
+  net_cfg.num_nodes = nodes;
+  // A single-node machine still needs a valid (degenerate) topology.
+  network_ = std::make_unique<net::Network>(engine_, net_cfg, &tracer_);
+  wiring_ = std::make_unique<coh::Wiring>(engine_, *network_,
+                                          config_.cpus_per_node,
+                                          config_.local_cycles,
+                                          config_.bus_cycles);
+  galloc_ = std::make_unique<GAlloc>(nodes, config_.line_bytes());
+
+  agents_.caches.resize(config_.num_cpus, nullptr);
+  agents_.dirs.resize(nodes, nullptr);
+  agents_.amus.resize(nodes, nullptr);
+  devices_.amus.resize(nodes, nullptr);
+  devices_.servers.resize(nodes, nullptr);
+
+  drams_.reserve(nodes);
+  dirs_.reserve(nodes);
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    drams_.push_back(std::make_unique<mem::Dram>(engine_, config_.dram));
+    dirs_.push_back(std::make_unique<coh::Directory>(
+        engine_, *wiring_, agents_, n, backing_, *drams_[n], config_.dir,
+        &tracer_));
+    agents_.dirs[n] = dirs_[n].get();
+  }
+
+  cpu::CoreConfig core_cfg;
+  core_cfg.cache = config_.cache;
+  core_cfg.am_timeout_cycles = config_.am_timeout_cycles;
+  cores_.reserve(config_.num_cpus);
+  ctxs_.reserve(config_.num_cpus);
+  for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
+    cores_.push_back(std::make_unique<cpu::Core>(
+        engine_, *wiring_, agents_, devices_, c, core_cfg, &tracer_));
+    agents_.caches[c] = &cores_[c]->cache();
+    ctxs_.push_back(
+        std::make_unique<ThreadCtx>(*cores_[c], engine_, rng_.split()));
+  }
+
+  amus_.reserve(nodes);
+  servers_.reserve(nodes);
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    amus_.push_back(std::make_unique<amu::Amu>(engine_, n, *dirs_[n],
+                                               backing_, *drams_[n],
+                                               config_.amu, &tracer_));
+    agents_.amus[n] = amus_[n].get();
+    devices_.amus[n] = amus_[n].get();
+    // Handlers run on the node's first core (the paper's home-processor
+    // interference model).
+    servers_.push_back(std::make_unique<cpu::AmServer>(
+        engine_, *wiring_, *cores_[n * config_.cpus_per_node],
+        config_.am_server));
+    devices_.servers[n] = servers_[n].get();
+  }
+}
+
+void Machine::spawn(sim::CpuId c,
+                    std::function<sim::Task<void>(ThreadCtx&)> body) {
+  if (c >= config_.num_cpus) throw std::out_of_range("spawn: bad cpu id");
+  ++pending_;
+  // Keep the functor alive for the coroutine's lifetime, then start it
+  // through the event queue for deterministic interleaving.
+  bodies_.push_back(std::move(body));
+  auto& stored = bodies_.back();
+  engine_.schedule(0, [this, c, &stored] {
+    sim::detach(stored(*ctxs_[c]), [this] { --pending_; });
+  });
+}
+
+void Machine::run() {
+  engine_.run();
+  if (pending_ != 0) {
+    std::ostringstream oss;
+    oss << "Machine::run: event queue drained with " << pending_
+        << " thread(s) still blocked (deadlock)";
+    throw std::runtime_error(oss.str());
+  }
+}
+
+MachineStats Machine::stats() const {
+  MachineStats s;
+  s.net = network_->stats();
+  s.local = wiring_->local_stats();
+  s.events = engine_.events_executed();
+  s.cycles = engine_.now();
+  for (const auto& d : dirs_) {
+    const coh::DirStats& ds = d->stats();
+    s.dir.gets += ds.gets;
+    s.dir.getx += ds.getx;
+    s.dir.upgrades += ds.upgrades;
+    s.dir.putbacks += ds.putbacks;
+    s.dir.invals_sent += ds.invals_sent;
+    s.dir.recalls_sent += ds.recalls_sent;
+    s.dir.word_gets += ds.word_gets;
+    s.dir.word_puts += ds.word_puts;
+    s.dir.word_updates_sent += ds.word_updates_sent;
+    s.dir.uncached_reads += ds.uncached_reads;
+    s.dir.uncached_writes += ds.uncached_writes;
+    s.dir.deferred += ds.deferred;
+  }
+  for (const auto& c : cores_) {
+    const coh::CacheCtrlStats& cs = c->cache().stats();
+    s.cache.loads += cs.loads;
+    s.cache.stores += cs.stores;
+    s.cache.ll += cs.ll;
+    s.cache.sc_success += cs.sc_success;
+    s.cache.sc_fail += cs.sc_fail;
+    s.cache.atomics += cs.atomics;
+    s.cache.miss_gets += cs.miss_gets;
+    s.cache.miss_getx += cs.miss_getx;
+    s.cache.miss_upgrade += cs.miss_upgrade;
+    s.cache.recalls += cs.recalls;
+    s.cache.invals += cs.invals;
+    s.cache.word_updates += cs.word_updates;
+    s.cache.writebacks += cs.writebacks;
+    const mem::CacheStats& l2 = c->cache().l2().stats();
+    s.l2.hits += l2.hits;
+    s.l2.misses += l2.misses;
+    s.l2.evictions += l2.evictions;
+    s.l2.dirty_evictions += l2.dirty_evictions;
+    s.l2.invals_received += l2.invals_received;
+    s.l2.word_updates += l2.word_updates;
+  }
+  for (const auto& a : amus_) {
+    const amu::AmuStats& as = a->stats();
+    s.amu.ops += as.ops;
+    s.amu.amo_ops += as.amo_ops;
+    s.amu.mao_ops += as.mao_ops;
+    s.amu.cache_hits += as.cache_hits;
+    s.amu.cache_misses += as.cache_misses;
+    s.amu.evictions += as.evictions;
+    s.amu.puts += as.puts;
+    s.amu.queue_depth += as.queue_depth;
+  }
+  for (const auto& sv : servers_) {
+    const cpu::AmServerStats& ss = sv->stats();
+    s.am.requests += ss.requests;
+    s.am.duplicates += ss.duplicates;
+    s.am.replays += ss.replays;
+    s.am.handled += ss.handled;
+  }
+  return s;
+}
+
+void MachineStats::print(std::ostream& os) const {
+  os << "cycles=" << cycles << " events=" << events << '\n'
+     << "net: packets=" << net.packets << " bytes=" << net.bytes
+     << " hops=" << net.hops << " avg_lat=" << std::fixed
+     << std::setprecision(1) << net.latency.mean() << '\n'
+     << "local: messages=" << local.messages << '\n'
+     << "dir: gets=" << dir.gets << " getx=" << dir.getx
+     << " upg=" << dir.upgrades << " inv=" << dir.invals_sent
+     << " recall=" << dir.recalls_sent << " wget=" << dir.word_gets
+     << " wput=" << dir.word_puts << " wupd=" << dir.word_updates_sent
+     << " defer=" << dir.deferred << '\n'
+     << "cache: ld=" << cache.loads << " st=" << cache.stores
+     << " ll=" << cache.ll << " sc+=" << cache.sc_success
+     << " sc-=" << cache.sc_fail << " atomic=" << cache.atomics
+     << " missS=" << cache.miss_gets << " missX=" << cache.miss_getx
+     << " upg=" << cache.miss_upgrade << '\n'
+     << "amu: ops=" << amu.ops << " (amo=" << amu.amo_ops
+     << " mao=" << amu.mao_ops << ") hit=" << amu.cache_hits
+     << " miss=" << amu.cache_misses << " puts=" << amu.puts << '\n'
+     << "am: req=" << am.requests << " dup=" << am.duplicates
+     << " handled=" << am.handled << '\n';
+}
+
+std::uint64_t Machine::peek_word(sim::Addr addr) const {
+  const sim::Addr block =
+      addr & ~static_cast<sim::Addr>(config_.line_bytes() - 1);
+  const coh::Directory& d = *dirs_[coh::home_of(addr)];
+  if (d.state_of(block) == coh::Directory::State::kExclusive) {
+    const sim::CpuId owner = d.owner_of(block);
+    const mem::Cache::Line* line = cores_[owner]->cache().l2().peek(addr);
+    if (line != nullptr) {
+      return line->data[(addr - block) / 8];
+    }
+  }
+  const amu::Amu& a = *amus_[coh::home_of(addr)];
+  if (a.holds_word(addr)) return a.peek_word(addr);
+  // const_cast: Backing lazily materializes zero-filled lines.
+  return const_cast<mem::Backing&>(backing_).read_word(addr);
+}
+
+void Machine::check_coherence() const {
+  if (!engine_.idle()) {
+    throw std::logic_error("check_coherence: engine not quiescent");
+  }
+  struct Copy {
+    sim::CpuId cpu;
+    mem::LineState state;
+  };
+  std::unordered_map<sim::Addr, std::vector<Copy>> copies;
+  for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
+    cores_[c]->cache().l2().for_each_line([&](const mem::Cache::Line& line) {
+      copies[line.block].push_back(Copy{c, line.state});
+    });
+  }
+  for (const auto& [block, list] : copies) {
+    const sim::NodeId home = coh::home_of(block);
+    const coh::Directory& d = *dirs_[home];
+    if (d.busy(block)) {
+      throw std::logic_error("coherence: busy block at quiescence");
+    }
+    std::uint32_t exclusive_copies = 0;
+    for (const Copy& cp : list) {
+      if (cp.state == mem::LineState::kModified ||
+          cp.state == mem::LineState::kExclusive) {
+        ++exclusive_copies;
+        if (d.state_of(block) != coh::Directory::State::kExclusive ||
+            d.owner_of(block) != cp.cpu) {
+          throw std::logic_error(
+              "coherence: M/E copy not matching directory owner");
+        }
+      } else {
+        if (!d.is_sharer(block, cp.cpu)) {
+          throw std::logic_error(
+              "coherence: S copy not in directory sharer list");
+        }
+      }
+    }
+    if (exclusive_copies > 1 ||
+        (exclusive_copies == 1 && list.size() > 1)) {
+      throw std::logic_error("coherence: multiple writers / mixed copies");
+    }
+  }
+}
+
+}  // namespace amo::core

@@ -1,0 +1,86 @@
+#include "cpu/am_server.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "cpu/core.hpp"
+
+namespace amo::cpu {
+
+AmServer::AmServer(sim::Engine& engine, coh::Wiring& wiring, Core& host,
+                   const AmServerConfig& config)
+    : engine_(engine), wiring_(wiring), host_(host), config_(config) {}
+
+void AmServer::on_request(sim::CpuId src, std::uint64_t seq,
+                          amu::AmoOpcode op, sim::Addr addr,
+                          std::uint64_t operand, std::uint64_t operand2,
+                          sim::Promise<std::uint64_t> reply) {
+  ++stats_.requests;
+  SourceState& st = sources_[src];
+  if (st.has_completed && seq <= st.completed_seq) {
+    // Retransmission of an already-handled request: replay the last
+    // reply. (A stale duplicate of an older seq can surface after the
+    // client moved on; its promise is no longer being awaited, so the
+    // replayed value is simply discarded at the client.)
+    ++stats_.duplicates;
+    ++stats_.replays;
+    send_reply(src, std::move(reply), st.completed_value);
+    return;
+  }
+  if (st.inflight && st.inflight_seq == seq) {
+    // Retransmission while the original is still queued/executing:
+    // remember the new reply handle, answer everyone at completion.
+    ++stats_.duplicates;
+    st.inflight_replies.push_back(std::move(reply));
+    return;
+  }
+  assert(!st.inflight && "one outstanding AM per source context");
+  st.inflight = true;
+  st.inflight_seq = seq;
+  st.inflight_replies.clear();
+  st.inflight_replies.push_back(std::move(reply));
+  queue_.push_back(Request{src, seq, op, addr, operand, operand2});
+  pump();
+}
+
+void AmServer::pump() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Request req = queue_.front();
+  queue_.pop_front();
+  sim::detach(process(req));
+}
+
+sim::Task<void> AmServer::process(Request req) {
+  // Invocation overhead dominates (trap + dispatch), then the handler
+  // performs the operation through the host core's coherent cache.
+  co_await host_.occupy(config_.invoke_cycles);
+  const std::uint64_t old = co_await host_.cache().atomic_rmw(
+      req.op, req.addr, req.operand, req.operand2);
+  co_await host_.occupy(config_.handler_cycles);
+  ++stats_.handled;
+
+  SourceState& st = sources_[req.src];
+  assert(st.inflight && st.inflight_seq == req.seq);
+  st.inflight = false;
+  st.has_completed = true;
+  st.completed_seq = req.seq;
+  st.completed_value = old;
+  auto replies = std::move(st.inflight_replies);
+  st.inflight_replies.clear();
+  for (auto& r : replies) send_reply(req.src, std::move(r), old);
+
+  busy_ = false;
+  pump();
+}
+
+void AmServer::send_reply(sim::CpuId dst, sim::Promise<std::uint64_t> reply,
+                          std::uint64_t value) {
+  wiring_.post(host_.node(), wiring_.node_of(dst), net::MsgClass::kActiveMsg,
+               40,
+               [reply, value] {
+                 if (!reply.completed()) reply.set_value(value);
+               });
+}
+
+}  // namespace amo::cpu

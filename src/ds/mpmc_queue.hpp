@@ -1,0 +1,85 @@
+// A bounded multi-producer/multi-consumer FIFO queue, AMO-native.
+//
+// Vyukov-style ring buffer: head and tail tickets come from amo.fetchadd
+// (one message each, no CAS retry loops), and each slot's sequence word
+// is published with amo.swap — whose eager word-put patches the cached
+// copy of whichever producer/consumer is spinning on that slot. The
+// result is a queue whose every synchronization step is a single
+// memory-side operation:
+//
+//   enqueue:  t = fetchadd(tail);  wait seq[t%N] == 2*(t/N)   (slot free)
+//             store payload;       swap(seq, 2*(t/N)+1)       (publish)
+//   dequeue:  h = fetchadd(head);  wait seq[h%N] == 2*(h/N)+1 (slot full)
+//             load payload;        swap(seq, 2*(h/N)+2)       (recycle)
+//
+// The sequence encoding 2*round(+1) distinguishes "empty for round k"
+// from "full for round k" and handles ring wrap-around.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+#include "sync/spin.hpp"
+
+namespace amo::ds {
+
+class MpmcQueue {
+ public:
+  /// A queue with `capacity` slots; control words homed on `home`,
+  /// payload/sequence words per-slot (round-robin across nodes).
+  MpmcQueue(core::Machine& m, sim::NodeId home, std::uint32_t capacity)
+      : capacity_(capacity) {
+    assert(capacity >= 1);
+    tail_ = m.galloc().alloc_word_line(home);
+    head_ = m.galloc().alloc_word_line(home);
+    slots_.reserve(capacity);
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      Slot s;
+      s.seq = m.galloc().alloc_word_line_rr();
+      s.payload = m.galloc().alloc_word_line_rr();
+      slots_.push_back(s);
+    }
+  }
+
+  /// Blocks (spins) while the ring is full.
+  sim::Task<void> enqueue(core::ThreadCtx& t, std::uint64_t value) {
+    const std::uint64_t ticket = co_await t.amo_fetch_add(tail_, 1);
+    const Slot& slot = slots_[ticket % capacity_];
+    const std::uint64_t want = 2 * (ticket / capacity_);
+    (void)co_await sync::spin_cached_until(
+        t, slot.seq, [want](std::uint64_t v) { return v == want; });
+    co_await t.store(slot.payload, value);
+    (void)co_await t.amo(amu::AmoOpcode::kSwap, slot.seq, want + 1);
+  }
+
+  /// Blocks (spins) while the ring is empty.
+  sim::Task<std::uint64_t> dequeue(core::ThreadCtx& t) {
+    const std::uint64_t ticket = co_await t.amo_fetch_add(head_, 1);
+    const Slot& slot = slots_[ticket % capacity_];
+    const std::uint64_t want = 2 * (ticket / capacity_) + 1;
+    (void)co_await sync::spin_cached_until(
+        t, slot.seq, [want](std::uint64_t v) { return v == want; });
+    const std::uint64_t value = co_await t.load(slot.payload);
+    (void)co_await t.amo(amu::AmoOpcode::kSwap, slot.seq, want + 1);
+    co_return value;
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    sim::Addr seq = 0;
+    sim::Addr payload = 0;
+  };
+
+  std::uint32_t capacity_;
+  sim::Addr tail_ = 0;
+  sim::Addr head_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace amo::ds

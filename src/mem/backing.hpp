@@ -1,0 +1,63 @@
+// The authoritative DRAM contents, word-granular, shared by all nodes'
+// memory controllers. Timing is modelled separately (`Dram`); this class is
+// pure data. Keeping real data in memory and in every cache copy lets the
+// test suite catch coherence bugs as *visible stale values*, not just
+// timing anomalies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace amo::mem {
+
+class Backing {
+ public:
+  explicit Backing(std::uint32_t line_bytes) : line_bytes_(line_bytes) {}
+
+  [[nodiscard]] std::uint32_t line_bytes() const { return line_bytes_; }
+  [[nodiscard]] std::uint32_t words_per_line() const {
+    return line_bytes_ / 8;
+  }
+
+  [[nodiscard]] sim::Addr line_base(sim::Addr a) const {
+    return a & ~static_cast<sim::Addr>(line_bytes_ - 1);
+  }
+  [[nodiscard]] std::uint32_t word_index(sim::Addr a) const {
+    return static_cast<std::uint32_t>((a - line_base(a)) / 8);
+  }
+
+  /// Reads a whole line (allocating zeros on first touch).
+  [[nodiscard]] const std::vector<std::uint64_t>& read_line(sim::Addr block) {
+    return slot(block);
+  }
+
+  /// Overwrites a whole line (cache writeback).
+  void write_line(sim::Addr block, const std::vector<std::uint64_t>& data) {
+    slot(block) = data;
+  }
+
+  /// Reads one 8-byte word at an aligned address.
+  [[nodiscard]] std::uint64_t read_word(sim::Addr addr) {
+    return slot(line_base(addr))[word_index(addr)];
+  }
+
+  /// Writes one 8-byte word (fine-grained put / uncached store).
+  void write_word(sim::Addr addr, std::uint64_t value) {
+    slot(line_base(addr))[word_index(addr)] = value;
+  }
+
+ private:
+  std::vector<std::uint64_t>& slot(sim::Addr block) {
+    auto [it, inserted] = store_.try_emplace(block);
+    if (inserted) it->second.assign(words_per_line(), 0);
+    return it->second;
+  }
+
+  std::uint32_t line_bytes_;
+  std::unordered_map<sim::Addr, std::vector<std::uint64_t>> store_;
+};
+
+}  // namespace amo::mem

@@ -1,0 +1,167 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+namespace amo::mem {
+
+const char* to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheGeometry& geometry) : geom_(geometry) {
+  assert(geom_.size_bytes % (geom_.ways * geom_.line_bytes) == 0);
+  assert((geom_.line_bytes & (geom_.line_bytes - 1)) == 0);
+  lines_.resize(static_cast<std::size_t>(geom_.num_sets()) * geom_.ways);
+}
+
+std::uint32_t Cache::set_index(sim::Addr block) const {
+  return static_cast<std::uint32_t>((block / geom_.line_bytes) %
+                                    geom_.num_sets());
+}
+
+std::span<Cache::Line> Cache::set_of(sim::Addr block) {
+  return {lines_.data() +
+              static_cast<std::size_t>(set_index(block)) * geom_.ways,
+          geom_.ways};
+}
+
+Cache::Line* Cache::find(sim::Addr addr, bool touch) {
+  const sim::Addr block = line_base(addr);
+  for (Line& line : set_of(block)) {
+    if (line.state != LineState::kInvalid && line.block == block) {
+      if (touch) {
+        line.lru = ++lru_clock_;
+        ++stats_.hits;
+      }
+      return &line;
+    }
+  }
+  if (touch) ++stats_.misses;
+  return nullptr;
+}
+
+const Cache::Line* Cache::peek(sim::Addr addr) const {
+  return const_cast<Cache*>(this)->find(addr, /*touch=*/false);
+}
+
+std::optional<Cache::Victim> Cache::insert(
+    sim::Addr block, LineState state, std::span<const std::uint64_t> data) {
+  assert(block == line_base(block));
+  assert(state != LineState::kInvalid);
+  assert(data.size() == geom_.line_bytes / 8);
+  assert(peek(block) == nullptr && "line already present");
+
+  auto set = set_of(block);
+  Line* slot = nullptr;
+  for (Line& line : set) {
+    if (line.state == LineState::kInvalid) {
+      slot = &line;
+      break;
+    }
+  }
+  std::optional<Victim> victim;
+  if (slot == nullptr) {
+    // LRU among unpinned lines; pinned lines have an MSHR in flight and
+    // must stay resident until their transaction completes.
+    Line* lru = nullptr;
+    for (Line& line : set) {
+      if (line.pinned) continue;
+      if (lru == nullptr || line.lru < lru->lru) lru = &line;
+    }
+    assert(lru != nullptr && "every way pinned: too many concurrent MSHRs");
+    slot = lru;
+    victim.emplace(Victim{slot->block, slot->state, std::move(slot->data)});
+    ++stats_.evictions;
+    if (slot->state == LineState::kModified) ++stats_.dirty_evictions;
+  }
+  slot->block = block;
+  slot->state = state;
+  slot->pinned = false;
+  slot->lru = ++lru_clock_;
+  slot->data.assign(data.begin(), data.end());
+  return victim;
+}
+
+std::optional<Cache::Victim> Cache::invalidate(sim::Addr addr) {
+  Line* line = find(addr, /*touch=*/false);
+  if (line == nullptr) return std::nullopt;
+  ++stats_.invals_received;
+  Victim v{line->block, line->state, std::move(line->data)};
+  line->state = LineState::kInvalid;
+  line->pinned = false;
+  line->data.clear();
+  return v;
+}
+
+std::uint64_t Cache::read_word(Line& line, sim::Addr addr) const {
+  assert(line.block == line_base(addr));
+  return line.data[word_index(addr)];
+}
+
+void Cache::write_word(Line& line, sim::Addr addr, std::uint64_t value) {
+  assert(line.block == line_base(addr));
+  line.data[word_index(addr)] = value;
+}
+
+TagCache::TagCache(const CacheGeometry& geometry) : geom_(geometry) {
+  tags_.resize(static_cast<std::size_t>(geom_.num_sets()) * geom_.ways);
+}
+
+std::uint32_t TagCache::set_index(sim::Addr block) const {
+  return static_cast<std::uint32_t>((block / geom_.line_bytes) %
+                                    geom_.num_sets());
+}
+
+bool TagCache::probe(sim::Addr addr) {
+  const sim::Addr block = line_base(addr);
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(block)) * geom_.ways;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Tag& t = tags_[base + w];
+    if (t.valid && t.block == block) {
+      t.lru = ++lru_clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TagCache::fill(sim::Addr addr) {
+  const sim::Addr block = line_base(addr);
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(block)) * geom_.ways;
+  Tag* slot = &tags_[base];
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Tag& t = tags_[base + w];
+    if (t.valid && t.block == block) {
+      t.lru = ++lru_clock_;
+      return;
+    }
+    if (!t.valid) {
+      slot = &t;
+    } else if (slot->valid && t.lru < slot->lru) {
+      slot = &t;
+    }
+  }
+  slot->block = block;
+  slot->valid = true;
+  slot->lru = ++lru_clock_;
+}
+
+void TagCache::invalidate(sim::Addr addr) {
+  const sim::Addr block = line_base(addr);
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(block)) * geom_.ways;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Tag& t = tags_[base + w];
+    if (t.valid && t.block == block) t.valid = false;
+  }
+}
+
+}  // namespace amo::mem

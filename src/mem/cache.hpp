@@ -1,0 +1,137 @@
+// Set-associative write-back cache: tags, MESI state, line data, LRU.
+//
+// This is a passive structure — the coherence protocol (coh::CacheCtrl)
+// decides *when* lines move; the cache only stores them. One instance per
+// core models the coherent L2; a tag-only variant (`TagCache`) models the
+// L1D timing filter.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace amo::mem {
+
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+[[nodiscard]] const char* to_string(LineState s);
+
+struct CacheGeometry {
+  std::uint32_t size_bytes = 2 * 1024 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t line_bytes = 128;
+
+  [[nodiscard]] std::uint32_t num_sets() const {
+    return size_bytes / (ways * line_bytes);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+  std::uint64_t invals_received = 0;
+  std::uint64_t word_updates = 0;
+};
+
+class Cache {
+ public:
+  struct Line {
+    sim::Addr block = 0;  // line base address
+    LineState state = LineState::kInvalid;
+    bool pinned = false;  // protected from victim selection (active MSHR)
+    std::uint64_t lru = 0;
+    std::vector<std::uint64_t> data;  // words_per_line entries
+  };
+
+  /// A line pushed out to make room.
+  struct Victim {
+    sim::Addr block = 0;
+    LineState state = LineState::kInvalid;
+    std::vector<std::uint64_t> data;
+  };
+
+  explicit Cache(const CacheGeometry& geometry);
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+  [[nodiscard]] sim::Addr line_base(sim::Addr a) const {
+    return a & ~static_cast<sim::Addr>(geom_.line_bytes - 1);
+  }
+  [[nodiscard]] std::uint32_t word_index(sim::Addr a) const {
+    return static_cast<std::uint32_t>((a - line_base(a)) / 8);
+  }
+
+  /// Looks up the line holding `addr`; null on miss. Counts hit/miss and
+  /// touches LRU when `touch` is true.
+  Line* find(sim::Addr addr, bool touch = true);
+  [[nodiscard]] const Line* peek(sim::Addr addr) const;
+
+  /// Installs a line (must not be present). If the set is full, the LRU
+  /// victim is returned so the controller can write it back / notify home.
+  std::optional<Victim> insert(sim::Addr block, LineState state,
+                               std::span<const std::uint64_t> data);
+
+  /// Drops a line if present; returns the victim (for dirty writeback).
+  std::optional<Victim> invalidate(sim::Addr addr);
+
+  /// Word read/write within a resident line.
+  [[nodiscard]] std::uint64_t read_word(Line& line, sim::Addr addr) const;
+  void write_word(Line& line, sim::Addr addr, std::uint64_t value);
+
+  [[nodiscard]] CacheStats& stats() { return stats_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Iterates all valid lines (coherence-invariant checks in tests).
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& line : lines_) {
+      if (line.state != LineState::kInvalid) fn(line);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t set_index(sim::Addr block) const;
+  std::span<Line> set_of(sim::Addr block);
+
+  CacheGeometry geom_;
+  std::vector<Line> lines_;  // sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+/// Tag-only cache used as the L1D timing filter: tracks which lines would
+/// hit in L1 (2-cycle) vs fall through to L2 (10-cycle). Kept inclusive by
+/// the controller (invalidated whenever the L2 copy dies).
+class TagCache {
+ public:
+  explicit TagCache(const CacheGeometry& geometry);
+
+  [[nodiscard]] sim::Addr line_base(sim::Addr a) const {
+    return a & ~static_cast<sim::Addr>(geom_.line_bytes - 1);
+  }
+
+  /// True if present (touches LRU); false otherwise.
+  bool probe(sim::Addr addr);
+  /// Installs the line, possibly displacing the set's LRU tag.
+  void fill(sim::Addr addr);
+  void invalidate(sim::Addr addr);
+
+ private:
+  struct Tag {
+    sim::Addr block = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+  [[nodiscard]] std::uint32_t set_index(sim::Addr block) const;
+
+  CacheGeometry geom_;
+  std::vector<Tag> tags_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace amo::mem

@@ -1,0 +1,47 @@
+// Per-node DRAM timing: fixed access latency plus a busy-until occupancy
+// that models the DDR channels as a shared resource. Returns the absolute
+// cycle at which the access completes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace amo::mem {
+
+struct DramConfig {
+  sim::Cycle access_cycles = 60;    // paper Table 1: 60 CPU cycles
+  sim::Cycle occupancy_cycles = 8;  // channel reservation per line access
+};
+
+class Dram {
+ public:
+  Dram(sim::Engine& engine, const DramConfig& config)
+      : engine_(engine), config_(config) {}
+
+  /// Reserves the channels and returns the completion time of one line
+  /// (or word) access starting now.
+  sim::Cycle access() {
+    const sim::Cycle start = std::max(engine_.now(), busy_until_);
+    busy_until_ = start + config_.occupancy_cycles;
+    const sim::Cycle done = start + config_.access_cycles;
+    ++accesses_;
+    wait_.add(start - engine_.now());
+    return done;
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] const sim::Accum& queue_wait() const { return wait_; }
+
+ private:
+  sim::Engine& engine_;
+  DramConfig config_;
+  sim::Cycle busy_until_ = 0;
+  std::uint64_t accesses_ = 0;
+  sim::Accum wait_;
+};
+
+}  // namespace amo::mem

@@ -1,0 +1,42 @@
+// Network packet representation and message classification.
+//
+// The network is payload-agnostic: a packet carries a delivery closure that
+// the fabric invokes at the destination's arrival time. Classification
+// exists for statistics (the paper's Figure 7 counts synchronization
+// traffic by message kind) and tracing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace amo::net {
+
+/// Broad message classes, used for traffic accounting.
+enum class MsgClass : std::uint8_t {
+  kRequest = 0,    // coherence requests (GetS/GetX/Upgrade), AMO/MAO requests
+  kResponse,       // data / ack responses toward a requestor
+  kIntervention,   // home -> owner recalls
+  kInval,          // home -> sharer invalidations
+  kAck,            // invalidation / writeback acks
+  kWriteback,      // dirty data toward home
+  kUpdate,         // fine-grained word updates (the AMO "put" wave)
+  kUncached,       // uncached load/store traffic (MAO spinning)
+  kActiveMsg,      // active message requests/replies
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(MsgClass c);
+
+/// One network packet. `size_bytes` includes the header; the fabric
+/// enforces the configured minimum packet size.
+struct Packet {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  MsgClass cls = MsgClass::kRequest;
+  std::uint32_t size_bytes = 0;
+  std::function<void()> on_deliver;  // runs at the destination
+};
+
+}  // namespace amo::net

@@ -1,0 +1,109 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace amo::net {
+
+const char* to_string(MsgClass c) {
+  switch (c) {
+    case MsgClass::kRequest: return "request";
+    case MsgClass::kResponse: return "response";
+    case MsgClass::kIntervention: return "intervention";
+    case MsgClass::kInval: return "inval";
+    case MsgClass::kAck: return "ack";
+    case MsgClass::kWriteback: return "writeback";
+    case MsgClass::kUpdate: return "update";
+    case MsgClass::kUncached: return "uncached";
+    case MsgClass::kActiveMsg: return "active_msg";
+    case MsgClass::kCount: break;
+  }
+  return "?";
+}
+
+Network::Network(sim::Engine& engine, const NetConfig& config,
+                 sim::Tracer* tracer)
+    : engine_(engine),
+      config_(config),
+      topo_(config.num_nodes, config.radix),
+      tracer_(tracer),
+      link_busy_until_(topo_.num_links(), 0) {}
+
+sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
+  const std::uint32_t bytes = std::max(size_bytes, config_.min_packet_bytes);
+  // ceil(bytes / 16) * cycles_per_16B
+  return static_cast<sim::Cycle>((bytes + 15) / 16) *
+         config_.link_cycles_per_16b;
+}
+
+sim::Cycle Network::reserve_path(sim::NodeId src, sim::NodeId dst,
+                                 std::uint32_t size_bytes,
+                                 std::vector<std::uint8_t>* charged) {
+  const sim::Cycle ser = serialization_cycles(size_bytes);
+  sim::Cycle t = engine_.now();
+  for (const LinkRef& link : topo_.route(src, dst)) {
+    const std::uint32_t idx = topo_.link_index(link);
+    const bool charge = (charged == nullptr) || !(*charged)[idx];
+    if (charged) (*charged)[idx] = 1;
+    sim::Cycle depart = t;
+    if (charge) {
+      depart = std::max(t, link_busy_until_[idx]);
+      link_busy_until_[idx] = depart + ser;
+    }
+    t = depart + config_.hop_cycles;
+  }
+  return t + ser;  // full packet received at destination
+}
+
+void Network::account(const Packet& p, sim::Cycle latency,
+                      std::uint32_t hops) {
+  const std::uint32_t bytes = std::max(p.size_bytes, config_.min_packet_bytes);
+  ++stats_.packets;
+  stats_.bytes += bytes;
+  stats_.hops += hops;
+  stats_.packets_by_class[static_cast<std::size_t>(p.cls)] += 1;
+  stats_.bytes_by_class[static_cast<std::size_t>(p.cls)] += bytes;
+  stats_.latency.add(latency);
+}
+
+void Network::send(Packet p) {
+  assert(p.src != p.dst && "local traffic must bypass the network");
+  assert(p.on_deliver && "packet without a delivery action");
+  const sim::Cycle arrival = reserve_path(p.src, p.dst, p.size_bytes, nullptr);
+  const sim::Cycle latency = arrival - engine_.now();
+  account(p, latency, topo_.hop_count(p.src, p.dst));
+  if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
+    tracer_->log(engine_.now(), sim::TraceCat::kNet,
+                 "net: %u -> %u %s %uB lat=%llu", p.src, p.dst,
+                 to_string(p.cls), p.size_bytes,
+                 static_cast<unsigned long long>(latency));
+  }
+  engine_.schedule_at(arrival, [fn = std::move(p.on_deliver)] { fn(); });
+}
+
+void Network::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
+                        MsgClass cls, std::uint32_t size_bytes,
+                        const std::function<void(sim::NodeId)>& deliver) {
+  if (!config_.hardware_multicast) {
+    // Serialized unicasts: the sending hub injects one packet per target.
+    for (sim::NodeId dst : dsts) {
+      if (dst == src) continue;
+      send(Packet{src, dst, cls, size_bytes, [deliver, dst] { deliver(dst); }});
+    }
+    return;
+  }
+  // Hardware multicast: replicate in the routers; each tree link carries
+  // the packet once.
+  std::vector<std::uint8_t> charged(topo_.num_links(), 0);
+  for (sim::NodeId dst : dsts) {
+    if (dst == src) continue;
+    const sim::Cycle arrival = reserve_path(src, dst, size_bytes, &charged);
+    const sim::Cycle latency = arrival - engine_.now();
+    Packet p{src, dst, cls, size_bytes, nullptr};
+    account(p, latency, topo_.hop_count(src, dst));
+    engine_.schedule_at(arrival, [deliver, dst] { deliver(dst); });
+  }
+}
+
+}  // namespace amo::net

@@ -1,0 +1,97 @@
+// The network fabric: routes packets over the fat tree, modelling per-link
+// bandwidth contention (FIFO busy-until reservation) and per-hop latency.
+//
+// Latency model (cut-through flavored):
+//   for each link on the path:  depart = max(t, link_busy);
+//                               link_busy = depart + serialization;
+//                               t = depart + hop_cycles;
+//   arrival = t + serialization   (full packet received once)
+//
+// Because link reservations are made atomically at injection time and
+// busy-until values only grow, packets between the same (src, dst) pair are
+// delivered in send order — the coherence layer relies on this FIFO
+// property.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace amo::net {
+
+struct NetConfig {
+  std::uint32_t num_nodes = 2;
+  std::uint32_t radix = 8;               // fat-tree router radix
+  sim::Cycle hop_cycles = 100;           // per-hop latency (CPU cycles)
+  std::uint32_t link_cycles_per_16b = 10;  // serialization: 16 bytes / 10 cyc
+  std::uint32_t min_packet_bytes = 32;   // NUMALink minimum packet
+  bool hardware_multicast = false;       // ablation: multicast word updates
+};
+
+struct NetStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hops = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgClass::kCount)>
+      packets_by_class{};
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgClass::kCount)>
+      bytes_by_class{};
+  sim::Accum latency;  // injection -> delivery, cycles
+
+  void reset() { *this = NetStats{}; }
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, const NetConfig& config,
+          sim::Tracer* tracer = nullptr);
+
+  /// Sends one packet; `p.on_deliver` runs at the destination's arrival
+  /// time. Precondition: p.src != p.dst (local traffic bypasses the net).
+  void send(Packet p);
+
+  /// Sends the same payload to many destinations. Without hardware
+  /// multicast this is a serialized sequence of unicasts from `src`
+  /// (the paper's default assumption); with `hardware_multicast` the
+  /// packet is replicated in the routers, charging shared path links once.
+  void multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
+                 MsgClass cls, std::uint32_t size_bytes,
+                 const std::function<void(sim::NodeId)>& deliver);
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+  /// Serialization delay for a packet of `size_bytes` (after clamping to
+  /// the minimum packet size).
+  [[nodiscard]] sim::Cycle serialization_cycles(std::uint32_t size_bytes) const;
+
+ private:
+  // Reserves the path and returns the delivery time. `charged` (optional)
+  // records link indices already reserved by this multicast so shared
+  // links are charged once.
+  sim::Cycle reserve_path(sim::NodeId src, sim::NodeId dst,
+                          std::uint32_t size_bytes,
+                          std::vector<std::uint8_t>* charged);
+
+  void account(const Packet& p, sim::Cycle latency, std::uint32_t hops);
+
+  sim::Engine& engine_;
+  NetConfig config_;
+  Topology topo_;
+  sim::Tracer* tracer_;
+  std::vector<sim::Cycle> link_busy_until_;
+  NetStats stats_;
+};
+
+}  // namespace amo::net

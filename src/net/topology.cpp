@@ -1,0 +1,90 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace amo::net {
+
+namespace {
+
+std::uint32_t div_ceil(std::uint32_t a, std::uint32_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Topology::Topology(std::uint32_t num_nodes, std::uint32_t radix)
+    : num_nodes_(num_nodes), radix_(radix) {
+  assert(num_nodes >= 1);
+  assert(radix >= 2);
+  entities_per_level_.push_back(num_nodes);
+  // Add router levels until a single router covers everything. A one-node
+  // system gets no routers; a system that fits under one leaf router gets
+  // exactly one level.
+  while (entities_per_level_.back() > 1) {
+    entities_per_level_.push_back(div_ceil(entities_per_level_.back(), radix));
+  }
+  if (entities_per_level_.size() == 1) {
+    // Single node: no links. Keep the invariant levels() == size-1 == 0.
+  }
+  // Links exist between level k entities and their level k+1 parents,
+  // for k in [0, levels-1]. Lay out flat indices: for each level, first all
+  // "up" links (one per child entity), then all "down" links.
+  std::uint32_t base = 0;
+  for (std::uint32_t k = 0; k + 1 < entities_per_level_.size(); ++k) {
+    up_link_base_.push_back(base);
+    base += entities_per_level_[k];
+    down_link_base_.push_back(base);
+    base += entities_per_level_[k];
+  }
+  num_links_ = base;
+}
+
+std::uint32_t Topology::common_level(sim::NodeId a, sim::NodeId b) const {
+  assert(a != b);
+  std::uint32_t level = 0;
+  std::uint32_t ea = a;
+  std::uint32_t eb = b;
+  while (ea != eb) {
+    ea /= radix_;
+    eb /= radix_;
+    ++level;
+  }
+  return level;
+}
+
+std::uint32_t Topology::hop_count(sim::NodeId a, sim::NodeId b) const {
+  if (a == b) return 0;
+  return 2 * common_level(a, b);
+}
+
+std::vector<LinkRef> Topology::route(sim::NodeId src, sim::NodeId dst) const {
+  assert(src != dst);
+  assert(src < num_nodes_ && dst < num_nodes_);
+  const std::uint32_t m = common_level(src, dst);
+  std::vector<LinkRef> path;
+  path.reserve(2 * m);
+  std::uint32_t e = src;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    path.push_back(LinkRef{k, e, /*up=*/true});
+    e /= radix_;
+  }
+  // Descend: compute dst's ancestor chain, then emit top-down.
+  std::vector<std::uint32_t> chain(m);
+  e = dst;
+  for (std::uint32_t k = 0; k < m; ++k) {
+    chain[k] = e;
+    e /= radix_;
+  }
+  for (std::uint32_t k = m; k-- > 0;) {
+    path.push_back(LinkRef{k, chain[k], /*up=*/false});
+  }
+  return path;
+}
+
+std::uint32_t Topology::link_index(const LinkRef& l) const {
+  assert(l.level < up_link_base_.size());
+  assert(l.child < entities_per_level_[l.level]);
+  return (l.up ? up_link_base_[l.level] : down_link_base_[l.level]) + l.child;
+}
+
+}  // namespace amo::net

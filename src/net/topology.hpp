@@ -1,0 +1,65 @@
+// Fat-tree topology (NUMALink-4-like): radix-R routers, deterministic
+// up/down routing. Level 0 entities are nodes; level k>=1 entities are
+// routers. Each child<->parent pair is connected by one "up" and one
+// "down" unidirectional link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace amo::net {
+
+/// Identifies a unidirectional link in the tree.
+struct LinkRef {
+  std::uint32_t level;  // level of the child endpoint (0 = node)
+  std::uint32_t child;  // index of the child entity at that level
+  bool up;              // true: child -> parent, false: parent -> child
+};
+
+class Topology {
+ public:
+  /// Builds a fat tree over `num_nodes` nodes with router radix `radix`.
+  Topology(std::uint32_t num_nodes, std::uint32_t radix);
+
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::uint32_t radix() const { return radix_; }
+
+  /// Number of router levels above the nodes (0 for a single-node system).
+  [[nodiscard]] std::uint32_t levels() const {
+    return static_cast<std::uint32_t>(entities_per_level_.size()) - 1;
+  }
+
+  /// Entities (nodes for level 0, routers above) at a level.
+  [[nodiscard]] std::uint32_t entities_at(std::uint32_t level) const {
+    return entities_per_level_[level];
+  }
+
+  /// Number of link traversals (hops) between two distinct nodes.
+  [[nodiscard]] std::uint32_t hop_count(sim::NodeId a, sim::NodeId b) const;
+
+  /// The ordered list of links a packet from `src` to `dst` traverses.
+  /// Precondition: src != dst.
+  [[nodiscard]] std::vector<LinkRef> route(sim::NodeId src,
+                                           sim::NodeId dst) const;
+
+  /// Flat index of a link (for the fabric's link-state arrays).
+  [[nodiscard]] std::uint32_t link_index(const LinkRef& l) const;
+
+  /// Total number of unidirectional links.
+  [[nodiscard]] std::uint32_t num_links() const { return num_links_; }
+
+ private:
+  // Level of the lowest common ancestor *router* of a and b (>= 1).
+  [[nodiscard]] std::uint32_t common_level(sim::NodeId a, sim::NodeId b) const;
+
+  std::uint32_t num_nodes_;
+  std::uint32_t radix_;
+  std::vector<std::uint32_t> entities_per_level_;  // [0]=nodes, [k]=routers
+  std::vector<std::uint32_t> up_link_base_;   // flat index base per level
+  std::vector<std::uint32_t> down_link_base_;
+  std::uint32_t num_links_ = 0;
+};
+
+}  // namespace amo::net

@@ -1,0 +1,95 @@
+#include "par/team.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace amo::par {
+
+namespace {
+
+// Mechanism-aware read of a runtime variable: MAO variables must never
+// enter a processor cache.
+sim::Task<std::uint64_t> read_var(sync::Mechanism mech, core::ThreadCtx& t,
+                                  sim::Addr a) {
+  if (mech == sync::Mechanism::kMao) co_return co_await t.uncached_load(a);
+  co_return co_await t.load(a);
+}
+
+}  // namespace
+
+Team::Team(core::Machine& machine, sync::Mechanism mech,
+           std::uint32_t nthreads)
+    : machine_(machine), mech_(mech), nthreads_(nthreads) {
+  assert(nthreads >= 1 && nthreads <= machine.num_cpus());
+  barrier_ = sync::make_central_barrier(machine, mech, nthreads);
+  lock_ = sync::make_ticket_lock(machine, mech);
+  trip_counter_ = machine.galloc().alloc_word_line(0);
+  reduce_cell_ = machine.galloc().alloc_word_line(0);
+}
+
+void Team::parallel(Body body) {
+  for (std::uint32_t c = 0; c < nthreads_; ++c) {
+    machine_.spawn(c, [this, body](core::ThreadCtx& t) -> sim::Task<void> {
+      co_await body(t, *this);
+      co_await barrier_->wait(t);  // implicit region-end barrier
+    });
+  }
+  machine_.run();
+}
+
+sim::Task<void> Team::critical(core::ThreadCtx& t,
+                               std::function<sim::Task<void>()> body) {
+  co_await lock_->acquire(t);
+  co_await body();
+  co_await lock_->release(t);
+}
+
+sim::Task<void> Team::for_static(
+    core::ThreadCtx& t, std::uint64_t begin, std::uint64_t end,
+    std::function<sim::Task<void>(std::uint64_t)> body) {
+  const std::uint64_t n = end - begin;
+  const std::uint32_t id = tid(t);
+  const std::uint64_t lo = begin + n * id / nthreads_;
+  const std::uint64_t hi = begin + n * (id + 1) / nthreads_;
+  for (std::uint64_t i = lo; i < hi; ++i) co_await body(i);
+}
+
+sim::Task<void> Team::prepare_dynamic(core::ThreadCtx& t,
+                                      std::uint64_t begin) {
+  co_await barrier_->wait(t);  // previous use of the counter has drained
+  if (tid(t) == 0) {
+    (void)co_await sync::swap(mech_, t, trip_counter_, begin);
+  }
+  co_await barrier_->wait(t);  // reset visible before anyone grabs
+}
+
+sim::Task<void> Team::for_dynamic(
+    core::ThreadCtx& t, std::uint64_t begin, std::uint64_t end,
+    std::uint64_t chunk,
+    std::function<sim::Task<void>(std::uint64_t)> body) {
+  assert(chunk >= 1);
+  co_await prepare_dynamic(t, begin);
+  for (;;) {
+    const std::uint64_t lo =
+        co_await sync::fetch_add(mech_, t, trip_counter_, chunk);
+    if (lo >= end) break;
+    const std::uint64_t hi = std::min(lo + chunk, end);
+    for (std::uint64_t i = lo; i < hi; ++i) co_await body(i);
+  }
+  // No trailing barrier here: callers decide (OpenMP "nowait" semantics
+  // are the default; use barrier() for the synchronized form).
+}
+
+sim::Task<std::uint64_t> Team::reduce_add(core::ThreadCtx& t,
+                                          std::uint64_t value) {
+  co_await barrier_->wait(t);  // previous reduction fully consumed
+  if (tid(t) == 0) {
+    (void)co_await sync::swap(mech_, t, reduce_cell_, 0);
+  }
+  co_await barrier_->wait(t);  // reset visible
+  (void)co_await sync::fetch_add(mech_, t, reduce_cell_, value);
+  co_await barrier_->wait(t);  // all contributions in
+  co_return co_await read_var(mech_, t, reduce_cell_);
+}
+
+}  // namespace amo::par

@@ -1,0 +1,101 @@
+// A minimal OpenMP-flavoured parallel runtime over the simulator — the
+// programming model the paper's benchmarks use ("All benchmark programs
+// used in this paper are OpenMP-based parallel programs").
+//
+// A Team owns a thread group plus its synchronization objects (barrier,
+// critical-section lock, reduction scratch), all instantiated over one
+// Mechanism so whole applications can be re-run under each of the
+// paper's five hardware options:
+//
+//   par::Team team(machine, sync::Mechanism::kAmo, 16);
+//   team.parallel([&](core::ThreadCtx& t, par::Team& tm) -> sim::Task<void> {
+//     co_await tm.for_dynamic(t, 0, n, 4, [&](std::uint64_t i) -> sim::Task<void> {
+//       ...                                  // iteration body
+//     });
+//     const std::uint64_t sum = co_await tm.reduce_add(t, local);
+//   });
+//
+// Dynamic loop scheduling is a natural AMO client: the shared trip
+// counter is a fetch-add hot spot, exactly the access pattern the AMU
+// accelerates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/machine.hpp"
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+#include "sync/barrier.hpp"
+#include "sync/lock.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo::par {
+
+class Team {
+ public:
+  /// Builds a team of `nthreads` (CPUs 0..n-1) over `mech`.
+  Team(core::Machine& machine, sync::Mechanism mech, std::uint32_t nthreads);
+
+  [[nodiscard]] std::uint32_t size() const { return nthreads_; }
+  [[nodiscard]] sync::Mechanism mechanism() const { return mech_; }
+
+  using Body = std::function<sim::Task<void>(core::ThreadCtx&, Team&)>;
+
+  /// Runs `body` on every team thread and waits for completion (the
+  /// implicit barrier at the end of an OpenMP parallel region). Drives
+  /// machine.run(); call from host code, not from simulated threads.
+  void parallel(Body body);
+
+  // ---- these are called from inside a parallel region ----
+
+  /// Team-wide barrier.
+  sim::Task<void> barrier(core::ThreadCtx& t) { return barrier_->wait(t); }
+
+  /// Critical section: runs `body` under the team lock.
+  sim::Task<void> critical(core::ThreadCtx& t,
+                           std::function<sim::Task<void>()> body);
+
+  /// Statically-scheduled loop: thread `tid` executes a contiguous chunk
+  /// of [begin, end). No synchronization needed (and none paid).
+  sim::Task<void> for_static(
+      core::ThreadCtx& t, std::uint64_t begin, std::uint64_t end,
+      std::function<sim::Task<void>(std::uint64_t)> body);
+
+  /// Dynamically-scheduled loop: threads grab `chunk` iterations at a
+  /// time from a shared trip counter (fetch-add through the team's
+  /// mechanism). Call from every team thread; returns when the thread
+  /// finds the counter exhausted.
+  sim::Task<void> for_dynamic(
+      core::ThreadCtx& t, std::uint64_t begin, std::uint64_t end,
+      std::uint64_t chunk,
+      std::function<sim::Task<void>(std::uint64_t)> body);
+
+  /// Sum-reduction: contributes `value` and returns the team-wide total
+  /// (every thread receives it). Includes the necessary barriers.
+  sim::Task<std::uint64_t> reduce_add(core::ThreadCtx& t,
+                                      std::uint64_t value);
+
+  /// Thread id within the team (== CpuId by construction).
+  [[nodiscard]] static std::uint32_t tid(const core::ThreadCtx& t) {
+    return t.cpu();
+  }
+
+ private:
+  /// Resets the dynamic-loop counter; called by thread 0 under barrier.
+  sim::Task<void> prepare_dynamic(core::ThreadCtx& t, std::uint64_t begin);
+
+  core::Machine& machine_;
+  sync::Mechanism mech_;
+  std::uint32_t nthreads_;
+  std::unique_ptr<sync::Barrier> barrier_;
+  std::unique_ptr<sync::Lock> lock_;
+  sim::Addr trip_counter_ = 0;   // dynamic-loop shared index
+  sim::Addr reduce_cell_ = 0;    // reduction accumulator
+  std::uint64_t reduce_epoch_ = 0;
+  std::uint64_t dynamic_epoch_ = 0;
+  std::uint64_t dynamic_base_ = 0;  // value of counter meaning "begin"
+};
+
+}  // namespace amo::par

@@ -1,0 +1,28 @@
+#include "sim/engine.hpp"
+
+namespace amo::sim {
+
+std::uint64_t Engine::run(Cycle deadline) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    Cycle when = 0;
+    auto fn = queue_.pop(when);
+    now_ = when;
+    fn();
+    ++processed;
+    ++executed_;
+  }
+  return processed;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Cycle when = 0;
+  auto fn = queue_.pop(when);
+  now_ = when;
+  fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace amo::sim

@@ -1,0 +1,21 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace amo::sim {
+
+void EventQueue::push(Cycle when, Callback fn) {
+  heap_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+EventQueue::Callback EventQueue::pop(Cycle& when_out) {
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // const_cast the entry. This is safe: we pop immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  when_out = top.when;
+  Callback fn = std::move(top.fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace amo::sim

@@ -1,0 +1,58 @@
+// Time-ordered event queue: the heart of the discrete-event kernel.
+//
+// Events scheduled for the same cycle are processed in insertion (FIFO)
+// order, which the rest of the simulator relies on for determinism and for
+// per-(src,dst) message ordering in the network model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace amo::sim {
+
+/// A min-heap of (time, sequence) ordered callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute time `when`.
+  void push(Cycle when, Callback fn);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+
+  /// Removes and returns the earliest event's callback, exposing its time
+  /// through `when_out`. Precondition: !empty().
+  Callback pop(Cycle& when_out);
+
+  /// Total number of events ever pushed (for throughput accounting).
+  [[nodiscard]] std::uint64_t total_pushed() const { return seq_; }
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;  // tie-break: FIFO within a cycle
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace amo::sim

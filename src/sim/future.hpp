@@ -1,0 +1,89 @@
+// Single-shot promise/future used to bridge callback-style hardware models
+// (caches, directories, the network) into awaitable coroutine code.
+//
+// The producing side holds a `Promise<T>`; the consuming coroutine does
+// `co_await future`. Completion resumes the waiter through the event queue
+// (zero-cycle event), never inline, so hardware models are free to complete
+// promises while iterating their own state.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace amo::sim {
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  Engine* engine = nullptr;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const {
+    return state_ && state_->value.has_value();
+  }
+
+  bool await_ready() const noexcept {
+    assert(state_ && "awaiting an empty Future");
+    return state_->value.has_value();
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(!state_->waiter && "Future supports a single waiter");
+    state_->waiter = h;
+  }
+  T await_resume() {
+    assert(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Engine& engine)
+      : state_(std::make_shared<detail::FutureState<T>>()) {
+    state_->engine = &engine;
+  }
+
+  [[nodiscard]] Future<T> get_future() const { return Future<T>(state_); }
+
+  /// Completes the future; the waiting coroutine (if any) resumes via a
+  /// zero-cycle event. May be called at most once.
+  void set_value(T v) const {
+    assert(!state_->value.has_value() && "Promise completed twice");
+    state_->value.emplace(std::move(v));
+    if (state_->waiter) {
+      auto h = state_->waiter;
+      state_->waiter = nullptr;
+      // Keep the state alive until the waiter actually resumes.
+      state_->engine->schedule(0, [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] bool completed() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+}  // namespace amo::sim

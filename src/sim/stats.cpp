@@ -1,0 +1,16 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+
+namespace amo::sim {
+
+void StatTable::print(std::ostream& os) const {
+  std::size_t width = 0;
+  for (const auto& [label, value] : rows_) width = std::max(width, label.size());
+  for (const auto& [label, value] : rows_) {
+    os << "  " << std::left << std::setw(static_cast<int>(width) + 2) << label
+       << std::right << value << '\n';
+  }
+}
+
+}  // namespace amo::sim

@@ -1,0 +1,70 @@
+// Lightweight statistics: typed counters and scalar accumulators.
+//
+// Hardware models keep plain structs of counters (cheap, no string lookups
+// on the hot path); `Accum` summarizes distributions (latencies, queue
+// depths) as count/sum/min/max.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amo::sim {
+
+/// Streaming scalar summary: count, sum, min, max, mean.
+class Accum {
+ public:
+  void add(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  void reset() { *this = Accum{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  Accum& operator+=(const Accum& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    return *this;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+/// A named (label, value) table used when printing run summaries.
+class StatTable {
+ public:
+  void add(std::string label, std::uint64_t value) {
+    rows_.emplace_back(std::move(label), value);
+  }
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> rows_;
+};
+
+}  // namespace amo::sim

@@ -1,0 +1,38 @@
+// Awaiting a Future with a timeout (used by the active-message client's
+// retransmission logic).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace amo::sim {
+
+namespace detail {
+
+template <typename T>
+Task<void> watch(Future<T> f, Promise<std::optional<T>> out) {
+  T v = co_await f;
+  if (!out.completed()) out.set_value(std::optional<T>(std::move(v)));
+}
+
+}  // namespace detail
+
+/// Resolves to the future's value, or std::nullopt after `timeout` cycles.
+/// The underlying future must eventually complete (its watcher coroutine
+/// frame is only released on completion).
+template <typename T>
+Task<std::optional<T>> with_timeout(Engine& engine, Future<T> f,
+                                    Cycle timeout) {
+  Promise<std::optional<T>> out(engine);
+  engine.schedule(timeout, [out] {
+    if (!out.completed()) out.set_value(std::nullopt);
+  });
+  detach(detail::watch<T>(std::move(f), out));
+  co_return co_await out.get_future();
+}
+
+}  // namespace amo::sim

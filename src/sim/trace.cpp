@@ -1,0 +1,15 @@
+#include "sim/trace.hpp"
+
+namespace amo::sim {
+
+void Tracer::log(Cycle now, TraceCat cat, const char* fmt, ...) const {
+  if (!enabled(cat)) return;
+  std::fprintf(stderr, "[%12llu] ", static_cast<unsigned long long>(now));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace amo::sim

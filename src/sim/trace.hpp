@@ -1,0 +1,41 @@
+// Minimal categorized tracing. Off by default; enabled per category for
+// debugging protocol flows. All callers check `enabled()` first so disabled
+// tracing costs one branch.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "sim/types.hpp"
+
+namespace amo::sim {
+
+enum class TraceCat : std::uint32_t {
+  kNet = 1u << 0,
+  kCache = 1u << 1,
+  kDir = 1u << 2,
+  kAmu = 1u << 3,
+  kCpu = 1u << 4,
+  kSync = 1u << 5,
+};
+
+class Tracer {
+ public:
+  void enable(TraceCat cat) { mask_ |= static_cast<std::uint32_t>(cat); }
+  void enable_all() { mask_ = ~0u; }
+  void disable_all() { mask_ = 0; }
+
+  [[nodiscard]] bool enabled(TraceCat cat) const {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+  }
+
+  // printf-style; prepends the simulated time.
+  void log(Cycle now, TraceCat cat, const char* fmt, ...) const
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace amo::sim

@@ -1,0 +1,23 @@
+// Fundamental scalar types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace amo::sim {
+
+/// Simulated time, measured in CPU clock cycles (2 GHz by default config).
+using Cycle = std::uint64_t;
+
+/// Identifies a node (one hub: two cores, memory, directory, AMU).
+using NodeId = std::uint32_t;
+
+/// Identifies a processor (core) globally: node * cores_per_node + local.
+using CpuId = std::uint32_t;
+
+/// A simulated physical address. Word-aligned for synchronization variables.
+using Addr = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr CpuId kInvalidCpu = static_cast<CpuId>(-1);
+
+}  // namespace amo::sim

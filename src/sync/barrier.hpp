@@ -1,0 +1,63 @@
+// Barrier interface + factories.
+//
+// All barriers are episode-based and reusable: counters grow
+// monotonically (episode k waits for count == k * P), so no reset or
+// sense-reversal race exists. Threads are identified by their CpuId;
+// a barrier built for P participants serves CPUs 0..P-1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/machine.hpp"
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo::sync {
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  /// Blocks the calling thread until all participants arrive.
+  virtual sim::Task<void> wait(core::ThreadCtx& t) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Centralized barrier over the given mechanism:
+///   * conventional mechanisms use the paper's Fig. 3(b) "optimized"
+///     coding (fetch-add + spin on a separate release word)
+///   * AMO uses the Fig. 3(c) naive coding (amo.inc with a test value,
+///     spin on the barrier variable itself)
+std::unique_ptr<Barrier> make_central_barrier(core::Machine& m,
+                                              Mechanism mech,
+                                              std::uint32_t participants);
+
+/// Two-level software combining tree (Yew et al.) with leaf groups of
+/// `fanout` threads; group counters are homed near their members.
+std::unique_ptr<Barrier> make_tree_barrier(core::Machine& m, Mechanism mech,
+                                           std::uint32_t participants,
+                                           std::uint32_t fanout);
+
+/// The paper's Fig. 3(a) *naive* coding: fetch-inc the barrier variable
+/// and spin on it directly. For conventional mechanisms every arrival now
+/// fights the spinners (the inefficiency Fig. 3(b) fixes); for AMO this
+/// is identical to the optimized coding — that is the paper's point.
+std::unique_ptr<Barrier> make_naive_barrier(core::Machine& m, Mechanism mech,
+                                            std::uint32_t participants);
+
+/// MCS tree barrier (Mellor-Crummey & Scott): 4-ary arrival tree +
+/// binary wake-up tree, every flag single-writer — zero atomic
+/// operations. The strongest conventional software baseline.
+std::unique_ptr<Barrier> make_mcs_tree_barrier(core::Machine& m,
+                                               Mechanism mech,
+                                               std::uint32_t participants);
+
+/// Dissemination barrier (Hensgen/Finkel/Manber): ceil(log2 P) rounds of
+/// point-to-point signals, no hot spot at all (extension baseline). The
+/// mechanism selects how signals are written (AMO uses eager-put swaps).
+std::unique_ptr<Barrier> make_dissemination_barrier(core::Machine& m,
+                                                    Mechanism mech,
+                                                    std::uint32_t participants);
+
+}  // namespace amo::sync

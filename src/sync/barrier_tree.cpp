@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "sync/barrier.hpp"
+#include "sync/spin.hpp"
+
+namespace amo::sync {
+
+namespace {
+
+// Two-level software combining tree (after Yew, Tzeng & Lawrie): threads
+// are grouped into leaf groups of `fanout`; the last arriver of each group
+// ascends to the root counter; the last at the root triggers a reverse
+// wake-up wave (root release -> group releases -> spinners).
+class TreeBarrier final : public Barrier {
+ public:
+  TreeBarrier(core::Machine& m, Mechanism mech, std::uint32_t participants,
+              std::uint32_t fanout)
+      : mech_(mech),
+        p_(participants),
+        sw_half_(m.config().barrier_sw_overhead / 2),
+        fanout_(std::max<std::uint32_t>(1, fanout)),
+        episode_(m.num_cpus(), 0),
+        name_(std::string(to_string(mech)) + " tree barrier (fanout " +
+              std::to_string(fanout) + ")") {
+    assert(participants >= 1 && participants <= m.num_cpus());
+    const std::uint32_t groups = (p_ + fanout_ - 1) / fanout_;
+    groups_.resize(groups);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      const std::uint32_t first_cpu = g * fanout_;
+      const std::uint32_t size =
+          std::min(fanout_, p_ - first_cpu);  // last group may be smaller
+      // Home the group's variables near its members: this is the point of
+      // a combining tree (parallel, mostly-local combining).
+      const sim::NodeId home = first_cpu / m.config().cpus_per_node;
+      groups_[g].counter = m.galloc().alloc_word_line(home);
+      groups_[g].release = m.galloc().alloc_word_line(home);
+      groups_[g].size = size;
+    }
+    root_counter_ = m.galloc().alloc_word_line(0);
+    root_release_ = m.galloc().alloc_word_line(0);
+  }
+
+  sim::Task<void> wait(core::ThreadCtx& t) override {
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+    const std::uint64_t ep = ++episode_[t.cpu()];
+    const std::uint32_t g = t.cpu() / fanout_;
+    const Group& grp = groups_[g];
+    const std::uint64_t group_target = ep * grp.size;
+
+    const std::uint64_t old =
+        co_await arrive(t, grp.counter, group_target);
+    if (old == group_target - 1) {
+      // Group winner: combine into the root.
+      const std::uint64_t root_target = ep * groups_.size();
+      const std::uint64_t root_old =
+          co_await arrive(t, root_counter_, root_target);
+      if (root_old == root_target - 1) {
+        co_await publish(t, root_release_, ep);
+      } else {
+        co_await wait_release(t, root_release_, ep);
+      }
+      co_await publish(t, grp.release, ep);
+      if (sw_half_ > 0) co_await t.compute(sw_half_);
+      co_return;
+    }
+    co_await wait_release(t, grp.release, ep);
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+  }
+
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+ private:
+  struct Group {
+    sim::Addr counter = 0;
+    sim::Addr release = 0;
+    std::uint32_t size = 0;
+  };
+
+  sim::Task<std::uint64_t> arrive(core::ThreadCtx& t, sim::Addr counter,
+                                  std::uint64_t target) {
+    if (mech_ == Mechanism::kAmo) {
+      // Delayed put: waiters of this sub-barrier spin on the counter.
+      co_return co_await t.amo(amu::AmoOpcode::kFetchAdd, counter, 1, target);
+    }
+    co_return co_await fetch_add(mech_, t, counter, 1);
+  }
+
+  sim::Task<void> publish(core::ThreadCtx& t, sim::Addr release,
+                          std::uint64_t ep) {
+    if (mech_ == Mechanism::kAmo) {
+      // Eager put: one word-update wave instead of an invalidation storm.
+      (void)co_await t.amo_fetch_add(release, 1);
+      co_return;
+    }
+    co_await t.store(release, ep);
+  }
+
+  sim::Task<void> wait_release(core::ThreadCtx& t, sim::Addr release,
+                               std::uint64_t ep) {
+    (void)co_await spin_cached_until(
+        t, release, [ep](std::uint64_t v) { return v >= ep; });
+  }
+
+  Mechanism mech_;
+  std::uint32_t p_;
+  sim::Cycle sw_half_;
+  std::uint32_t fanout_;
+  std::vector<Group> groups_;
+  sim::Addr root_counter_ = 0;
+  sim::Addr root_release_ = 0;
+  std::vector<std::uint64_t> episode_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Barrier> make_tree_barrier(core::Machine& m, Mechanism mech,
+                                           std::uint32_t participants,
+                                           std::uint32_t fanout) {
+  return std::make_unique<TreeBarrier>(m, mech, participants, fanout);
+}
+
+}  // namespace amo::sync

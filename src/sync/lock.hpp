@@ -1,0 +1,61 @@
+// Spin-lock interface + factories (ticket lock and Anderson's array-based
+// queuing lock, each over all five mechanisms).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/machine.hpp"
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo::sync {
+
+class Lock {
+ public:
+  virtual ~Lock() = default;
+  virtual sim::Task<void> acquire(core::ThreadCtx& t) = 0;
+  virtual sim::Task<void> release(core::ThreadCtx& t) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Spin policy while waiting for now_serving (ticket lock). MAO always
+/// spins uncached; this selects its inter-poll backoff (Mellor-Crummey &
+/// Scott's proportional backoff vs none — an ablation the paper discusses).
+enum class TicketBackoff : std::uint8_t { kNone, kProportional };
+
+struct TicketLockConfig {
+  // Default: no backoff — the paper's evaluated ticket locks spin without
+  // it (backoff is "less effective" and "not risk-free" on CC machines,
+  // §3.3.2); MAO's uncached polling then floods the home MC, which is why
+  // the paper's MAO ticket lock barely beats LL/SC. The proportional
+  // policy is exercised by bench/ablation_backoff.
+  TicketBackoff backoff = TicketBackoff::kNone;
+  sim::Cycle backoff_unit = 400;  // cycles per position in line
+};
+
+std::unique_ptr<Lock> make_ticket_lock(core::Machine& m, Mechanism mech,
+                                       const TicketLockConfig& cfg = {});
+
+/// Anderson's array-based queuing lock: `slots` must be at least the
+/// maximum number of concurrent contenders (usually num_cpus).
+std::unique_ptr<Lock> make_array_lock(core::Machine& m, Mechanism mech,
+                                      std::uint32_t slots);
+
+/// Mellor-Crummey & Scott's MCS queue lock (extension beyond the paper's
+/// evaluation): per-thread queue nodes, purely local spinning, swap/CAS
+/// through the chosen mechanism. AMO mode drives the handoff flags with
+/// amo.swap so the successor's cached copy is patched in place.
+std::unique_ptr<Lock> make_mcs_lock(core::Machine& m, Mechanism mech);
+
+struct TasLockConfig {
+  sim::Cycle backoff_min = 64;    // first backoff after a failed attempt
+  sim::Cycle backoff_max = 8192;  // exponential cap
+};
+
+/// Test-and-test-and-set lock with exponential backoff (classic baseline).
+std::unique_ptr<Lock> make_tas_lock(core::Machine& m, Mechanism mech,
+                                    const TasLockConfig& cfg = {});
+
+}  // namespace amo::sync

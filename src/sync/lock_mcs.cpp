@@ -1,0 +1,94 @@
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "sync/lock.hpp"
+#include "sync/spin.hpp"
+
+namespace amo::sync {
+
+namespace {
+
+// MCS queue lock (Mellor-Crummey & Scott, 1991): contenders form an
+// explicit linked queue of per-thread nodes; each waiter spins on its own
+// flag (purely local), and the releaser writes exactly one remote word.
+//
+// Queue-node pointers are encoded as (cpu + 1); 0 means "nil". Each
+// per-cpu node has two words — `next` and `locked` — in separate cache
+// lines, homed on the cpu's own node so spinning is local.
+//
+// Per mechanism: the tail swap / CAS and the cross-thread word writes
+// (pred->next, successor->locked) go through the chosen mechanism; AMO
+// uses eager-put amo.swap so the remote cached copies are patched in
+// place rather than invalidated.
+class McsLock final : public Lock {
+ public:
+  McsLock(core::Machine& m, Mechanism mech)
+      : mech_(mech),
+        sw_half_(m.config().lock_sw_overhead / 2),
+        name_(std::string(to_string(mech)) + " MCS lock") {
+    tail_ = m.galloc().alloc_word_line(0);
+    const std::uint32_t cpus = m.num_cpus();
+    next_.reserve(cpus);
+    locked_.reserve(cpus);
+    for (sim::CpuId c = 0; c < cpus; ++c) {
+      const sim::NodeId home = c / m.config().cpus_per_node;
+      next_.push_back(m.galloc().alloc_word_line(home));
+      locked_.push_back(m.galloc().alloc_word_line(home));
+    }
+  }
+
+  sim::Task<void> acquire(core::ThreadCtx& t) override {
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+    const sim::CpuId me = t.cpu();
+    co_await write_word(t, next_[me], 0);
+    co_await write_word(t, locked_[me], 1);
+    const std::uint64_t pred = co_await swap(mech_, t, tail_, me + 1);
+    if (pred == 0) co_return;  // lock was free
+    // Link behind the predecessor, then spin on our own flag.
+    co_await write_word(t, next_[pred - 1], me + 1);
+    (void)co_await spin_cached_until(
+        t, locked_[me], [](std::uint64_t v) { return v == 0; });
+  }
+
+  sim::Task<void> release(core::ThreadCtx& t) override {
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+    const sim::CpuId me = t.cpu();
+    std::uint64_t succ = co_await t.load(next_[me]);
+    if (succ == 0) {
+      // No visible successor: try to swing the tail back to nil.
+      if (co_await cas(mech_, t, tail_, me + 1, 0) == me + 1) co_return;
+      // A contender is between the tail swap and the link: wait for it.
+      succ = co_await spin_cached_until(
+          t, next_[me], [](std::uint64_t v) { return v != 0; });
+    }
+    co_await write_word(t, locked_[succ - 1], 0);  // hand off
+  }
+
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+ private:
+  sim::Task<void> write_word(core::ThreadCtx& t, sim::Addr a,
+                             std::uint64_t v) {
+    if (mech_ == Mechanism::kAmo) {
+      (void)co_await t.amo(amu::AmoOpcode::kSwap, a, v);
+      co_return;
+    }
+    co_await t.store(a, v);
+  }
+
+  Mechanism mech_;
+  sim::Cycle sw_half_;
+  sim::Addr tail_ = 0;
+  std::vector<sim::Addr> next_;
+  std::vector<sim::Addr> locked_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Lock> make_mcs_lock(core::Machine& m, Mechanism mech) {
+  return std::make_unique<McsLock>(m, mech);
+}
+
+}  // namespace amo::sync

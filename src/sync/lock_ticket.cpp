@@ -1,0 +1,98 @@
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "sync/lock.hpp"
+#include "sync/spin.hpp"
+
+namespace amo::sync {
+
+namespace {
+
+// FIFO ticket lock (Mellor-Crummey & Scott). Acquire: fetch-add the
+// sequencer, wait until now_serving reaches the ticket. Release: advance
+// now_serving.
+//
+// Per mechanism:
+//   LL/SC, Atomic  sequencer via LL/SC / atomic; cached spin; release by
+//                  plain store (invalidates all spinners).
+//   ActMsg         sequencer and release via AMs on the home processor;
+//                  cached spin (the handler's coherent RMW invalidates).
+//   MAO            sequencer via memory-side atomic; now_serving is a MAO
+//                  variable too, so spinning is *uncached* remote polling
+//                  (with optional proportional backoff).
+//   AMO            sequencer via amo.fetchadd; release via amo.fetchadd on
+//                  now_serving — its eager word-put patches every
+//                  spinner's cached copy in place (no invalidation storm).
+class TicketLock final : public Lock {
+ public:
+  TicketLock(core::Machine& m, Mechanism mech, const TicketLockConfig& cfg)
+      : mech_(mech),
+        cfg_(cfg),
+        sw_half_(m.config().lock_sw_overhead / 2),
+        my_ticket_(m.num_cpus(), 0),
+        name_(std::string(to_string(mech)) + " ticket lock") {
+    next_ticket_ = m.galloc().alloc_word_line(0);
+    now_serving_ = m.galloc().alloc_word_line(0);
+  }
+
+  sim::Task<void> acquire(core::ThreadCtx& t) override {
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+    const std::uint64_t my =
+        co_await fetch_add(mech_, t, next_ticket_, 1);
+    my_ticket_[t.cpu()] = my;
+    if (mech_ == Mechanism::kMao) {
+      const auto backoff = [this, my](std::uint64_t v) -> sim::Cycle {
+        if (cfg_.backoff == TicketBackoff::kNone) return 0;
+        return cfg_.backoff_unit * (my - v);
+      };
+      (void)co_await spin_uncached_until(
+          t, now_serving_, [my](std::uint64_t v) { return v == my; },
+          backoff);
+      co_return;
+    }
+    (void)co_await spin_cached_until(
+        t, now_serving_, [my](std::uint64_t v) { return v == my; });
+  }
+
+  sim::Task<void> release(core::ThreadCtx& t) override {
+    if (sw_half_ > 0) co_await t.compute(sw_half_);
+    const std::uint64_t next = my_ticket_[t.cpu()] + 1;
+    switch (mech_) {
+      case Mechanism::kLlSc:
+      case Mechanism::kAtomic:
+        // Only the holder writes now_serving: a plain store suffices.
+        co_await t.store(now_serving_, next);
+        co_return;
+      case Mechanism::kActMsg:
+        (void)co_await t.am_fetch_add(now_serving_, 1);
+        co_return;
+      case Mechanism::kMao:
+        (void)co_await t.mao_fetch_add(now_serving_, 1);
+        co_return;
+      case Mechanism::kAmo:
+        (void)co_await t.amo_fetch_add(now_serving_, 1);
+        co_return;
+    }
+  }
+
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+ private:
+  Mechanism mech_;
+  TicketLockConfig cfg_;
+  sim::Cycle sw_half_;
+  sim::Addr next_ticket_ = 0;
+  sim::Addr now_serving_ = 0;
+  std::vector<std::uint64_t> my_ticket_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Lock> make_ticket_lock(core::Machine& m, Mechanism mech,
+                                       const TicketLockConfig& cfg) {
+  return std::make_unique<TicketLock>(m, mech, cfg);
+}
+
+}  // namespace amo::sync

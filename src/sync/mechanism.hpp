@@ -1,0 +1,44 @@
+// The five atomic-operation mechanisms the paper compares, behind one
+// fetch-and-add interface so every synchronization algorithm can be
+// instantiated over each of them.
+//
+//   kLlSc   load-linked / store-conditional retry loop (baseline)
+//   kAtomic processor-side atomic instruction (ownership migration)
+//   kActMsg active message executed by the home node's processor
+//   kMao    memory-side atomic outside the coherent domain (O2K / T3E)
+//   kAmo    Active Memory Operation (this paper)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+
+namespace amo::sync {
+
+enum class Mechanism : std::uint8_t { kLlSc, kAtomic, kActMsg, kMao, kAmo };
+
+inline constexpr Mechanism kAllMechanisms[] = {
+    Mechanism::kLlSc, Mechanism::kAtomic, Mechanism::kActMsg,
+    Mechanism::kMao, Mechanism::kAmo};
+
+[[nodiscard]] const char* to_string(Mechanism m);
+
+/// Atomic fetch-and-add through the chosen mechanism. `test` is only
+/// meaningful for kAmo, where it selects the delayed-put policy (the
+/// result is pushed to cached copies when it equals `test`).
+sim::Task<std::uint64_t> fetch_add(Mechanism m, core::ThreadCtx& t,
+                                   sim::Addr addr, std::uint64_t delta,
+                                   std::optional<std::uint64_t> test = {});
+
+/// Atomic exchange through the chosen mechanism; returns the old value.
+sim::Task<std::uint64_t> swap(Mechanism m, core::ThreadCtx& t, sim::Addr addr,
+                              std::uint64_t value);
+
+/// Atomic compare-and-swap; returns the old value (success iff it equals
+/// `expected`).
+sim::Task<std::uint64_t> cas(Mechanism m, core::ThreadCtx& t, sim::Addr addr,
+                             std::uint64_t expected, std::uint64_t desired);
+
+}  // namespace amo::sync

@@ -1,0 +1,52 @@
+// Spin-wait helpers.
+//
+// Cached spinning is event-driven: between polls the waiter sleeps on the
+// cache controller's line-event hook (it wakes on invalidations, data
+// fills, and word updates), with a fallback re-poll timer to cover events
+// that slip between the poll and the registration. This keeps simulation
+// cost proportional to coherence traffic — which is also what a real
+// spinner costs the machine.
+#pragma once
+
+#include <functional>
+
+#include "core/thread_ctx.hpp"
+#include "sim/task.hpp"
+#include "sim/timeout.hpp"
+
+namespace amo::sync {
+
+/// Default fallback re-poll period for event-driven cached spins.
+inline constexpr sim::Cycle kSpinRecheckCycles = 2000;
+
+/// Spins on a *cacheable* word until `done(value)`; returns the final
+/// value. The spinning itself is free of network traffic while the copy
+/// stays valid — exactly the conventional-barrier behaviour the paper
+/// analyses.
+inline sim::Task<std::uint64_t> spin_cached_until(
+    core::ThreadCtx& t, sim::Addr addr,
+    std::function<bool(std::uint64_t)> done,
+    sim::Cycle recheck = kSpinRecheckCycles) {
+  for (;;) {
+    const std::uint64_t v = co_await t.load(addr);
+    if (done(v)) co_return v;
+    (void)co_await sim::with_timeout(
+        t.engine(), t.core().cache().line_event(addr), recheck);
+  }
+}
+
+/// Spins with *uncached* loads (MAO-style: every poll is a remote access)
+/// with an optional backoff between polls computed from the last value.
+inline sim::Task<std::uint64_t> spin_uncached_until(
+    core::ThreadCtx& t, sim::Addr addr,
+    std::function<bool(std::uint64_t)> done,
+    std::function<sim::Cycle(std::uint64_t)> backoff) {
+  for (;;) {
+    const std::uint64_t v = co_await t.uncached_load(addr);
+    if (done(v)) co_return v;
+    const sim::Cycle wait = backoff ? backoff(v) : 0;
+    if (wait > 0) co_await t.delay(wait);
+  }
+}
+
+}  // namespace amo::sync

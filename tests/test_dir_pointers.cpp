@@ -1,0 +1,156 @@
+// Limited-pointer directory (DIR-i-B style): correctness under coarse
+// overflow (broadcast invalidations / put waves) and the expected
+// behavioural costs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sync/barrier.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo {
+namespace {
+
+core::SystemConfig limited_cfg(std::uint32_t cpus, std::uint32_t pointers) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.dir.sharer_pointer_limit = pointers;
+  return cfg;
+}
+
+TEST(DirPointers, OverflowTriggersOnWideSharing) {
+  core::Machine m(limited_cfg(8, 2));
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  std::uint32_t readers = 0;
+  for (sim::CpuId c = 0; c < 8; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.load(a);
+      ++readers;
+      while (readers < 8) co_await t.delay(200);
+    });
+  }
+  m.run();
+  EXPECT_TRUE(m.dir(0).coarse(a));
+  EXPECT_GE(m.dir(0).stats().overflows, 1u);
+  m.check_coherence();
+}
+
+TEST(DirPointers, NoOverflowBelowLimit) {
+  core::Machine m(limited_cfg(8, 4));
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  for (sim::CpuId c = 0; c < 3; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.load(a);
+      co_await t.delay(3000);  // overlap the sharers
+    });
+  }
+  m.run();
+  EXPECT_FALSE(m.dir(0).coarse(a));
+  EXPECT_EQ(m.dir(0).stats().overflows, 0u);
+}
+
+TEST(DirPointers, BroadcastInvalidationStillCorrect) {
+  // Only 3 of 8 cpus actually share; a coarse entry must invalidate all
+  // of them anyway (and the stray invals to non-sharers are counted).
+  core::Machine m(limited_cfg(8, 1));
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  std::uint32_t readers = 0;
+  std::vector<std::uint64_t> reread(8, 0);
+  for (sim::CpuId c = 0; c < 3; ++c) {
+    m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.load(a);
+      ++readers;
+      // Wait for the writer, then re-read: must see the new value.
+      while (co_await t.load(a) != 99) co_await t.delay(300);
+      reread[c] = 99;
+    });
+  }
+  m.spawn(7, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    while (readers < 3) co_await t.delay(300);
+    co_await t.store(a, 99);  // invalidation must broadcast
+  });
+  m.run();
+  for (sim::CpuId c = 0; c < 3; ++c) EXPECT_EQ(reread[c], 99u);
+  EXPECT_GE(m.dir(0).stats().broadcast_invals, 1u);
+  m.check_coherence();
+}
+
+TEST(DirPointers, AmoBarrierSurvivesCoarseMode) {
+  core::Machine m(limited_cfg(16, 2));
+  auto barrier = sync::make_central_barrier(m, sync::Mechanism::kAmo, 16);
+  std::vector<int> arrived(16, 0);
+  int violations = 0;
+  for (sim::CpuId c = 0; c < 16; ++c) {
+    m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 1; ep <= 4; ++ep) {
+        co_await t.compute(t.rng().below(400));
+        arrived[c] = ep;
+        co_await barrier->wait(t);
+        for (int o = 0; o < 16; ++o) {
+          if (arrived[o] < ep) ++violations;
+        }
+      }
+    });
+  }
+  m.run();
+  EXPECT_EQ(violations, 0);
+  m.check_coherence();
+}
+
+TEST(DirPointers, CoarsePutWaveCostsMoreTrafficWhenSharingIsSparse) {
+  // Put waves only cost more in coarse mode when the true sharer set is
+  // small relative to the machine (for a barrier, everyone shares, so
+  // broadcast == exact — an interesting negative result). Here a flag is
+  // shared by 3 cpus on a 16-cpu machine; overflowing a 1-pointer
+  // directory must blow the per-put fan-out up to every node.
+  auto updates_for = [](std::uint32_t pointers) {
+    core::Machine m(limited_cfg(16, pointers));
+    const sim::Addr flag = m.galloc().alloc_word_line(0);
+    std::uint32_t spinners_ready = 0;
+    for (sim::CpuId c : {2u, 5u, 9u}) {
+      m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+        (void)co_await t.load(flag);  // cache a copy
+        ++spinners_ready;
+        while (co_await t.load(flag) < 8) co_await t.delay(500);
+      });
+    }
+    m.spawn(0, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      while (spinners_ready < 3) co_await t.delay(300);
+      for (int i = 0; i < 8; ++i) {
+        (void)co_await t.amo_fetch_add(flag, 1);  // eager put each time
+        co_await t.compute(200);
+      }
+    });
+    m.run();
+    return m.stats().dir.word_updates_sent;
+  };
+  const std::uint64_t exact = updates_for(0);
+  const std::uint64_t coarse = updates_for(1);
+  EXPECT_GT(coarse, 2 * exact);
+}
+
+TEST(DirPointers, ExclusiveTransitionClearsCoarse) {
+  core::Machine m(limited_cfg(8, 1));
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  std::uint32_t readers = 0;
+  bool wrote = false;
+  for (sim::CpuId c = 0; c < 4; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.load(a);
+      ++readers;
+      while (!wrote) co_await t.delay(300);
+    });
+  }
+  m.spawn(5, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    while (readers < 4) co_await t.delay(300);
+    co_await t.store(a, 1);
+    wrote = true;
+  });
+  m.run();
+  EXPECT_FALSE(m.dir(0).coarse(a));  // Exclusive reset the coarse flag
+  m.check_coherence();
+}
+
+}  // namespace
+}  // namespace amo

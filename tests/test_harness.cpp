@@ -1,0 +1,85 @@
+// Benchmark-harness tests: CLI parsing and the microbenchmark runners'
+// basic sanity (they are the layer every reported number flows through).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench/harness.hpp"
+
+namespace amo::bench {
+namespace {
+
+CliOptions parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return parse_cli(static_cast<int>(argv.size()),
+                   const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, DefaultsAreEmpty) {
+  const CliOptions opt = parse({});
+  EXPECT_TRUE(opt.cpus.empty());
+  EXPECT_EQ(opt.episodes, 0);
+  EXPECT_EQ(opt.iters, 0);
+  EXPECT_FALSE(opt.quick);
+}
+
+TEST(Cli, ParsesCpuList) {
+  const CliOptions opt = parse({"--cpus=4,16,256"});
+  EXPECT_EQ(opt.cpus, (std::vector<std::uint32_t>{4, 16, 256}));
+}
+
+TEST(Cli, ParsesSingleCpu) {
+  const CliOptions opt = parse({"--cpus=32"});
+  EXPECT_EQ(opt.cpus, (std::vector<std::uint32_t>{32}));
+}
+
+TEST(Cli, ParsesEpisodesItersQuick) {
+  const CliOptions opt = parse({"--episodes=3", "--iters=9", "--quick"});
+  EXPECT_EQ(opt.episodes, 3);
+  EXPECT_EQ(opt.iters, 9);
+  EXPECT_TRUE(opt.quick);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  EXPECT_THROW(parse({"--bogus"}), std::runtime_error);
+}
+
+TEST(PaperCpuCounts, MatchesPaperAxes) {
+  EXPECT_EQ(paper_cpu_counts(4),
+            (std::vector<std::uint32_t>{4, 8, 16, 32, 64, 128, 256}));
+  EXPECT_EQ(paper_cpu_counts(16),
+            (std::vector<std::uint32_t>{16, 32, 64, 128, 256}));
+}
+
+TEST(Runner, BarrierResultIsConsistent) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 8;
+  BarrierParams params;
+  params.episodes = 4;
+  const BarrierResult r = run_barrier(cfg, params);
+  EXPECT_GT(r.cycles_per_barrier, 0.0);
+  EXPECT_DOUBLE_EQ(r.cycles_per_proc, r.cycles_per_barrier / 8.0);
+  EXPECT_GT(r.traffic.packets, 0u);
+}
+
+TEST(Runner, LockResultIsConsistent) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 8;
+  LockParams params;
+  params.iters = 3;
+  const LockResult r = run_lock(cfg, params);
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.cycles_per_acquire, r.total_cycles / (8.0 * 3.0));
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 8;
+  BarrierParams params;
+  params.episodes = 4;
+  EXPECT_DOUBLE_EQ(run_barrier(cfg, params).cycles_per_barrier,
+                   run_barrier(cfg, params).cycles_per_barrier);
+}
+
+}  // namespace
+}  // namespace amo::bench

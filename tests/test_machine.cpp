@@ -1,0 +1,190 @@
+// Machine/public-API tests: configuration, the global allocator, debug
+// peeks, deadlock detection, stats aggregation, and determinism.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/machine.hpp"
+
+namespace amo {
+namespace {
+
+TEST(SystemConfig, DerivesNodeCount) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 7;
+  cfg.cpus_per_node = 2;
+  EXPECT_EQ(cfg.num_nodes(), 4u);
+  cfg.num_cpus = 8;
+  EXPECT_EQ(cfg.num_nodes(), 4u);
+  cfg.cpus_per_node = 4;
+  EXPECT_EQ(cfg.num_nodes(), 2u);
+}
+
+TEST(GAlloc, PlacementEncodesHomeNode) {
+  core::GAlloc g(8, 128);
+  for (sim::NodeId n = 0; n < 8; ++n) {
+    const sim::Addr a = g.alloc(n, 64);
+    EXPECT_EQ(core::GAlloc::home_of(a), n);
+  }
+}
+
+TEST(GAlloc, RespectsAlignment) {
+  core::GAlloc g(2, 128);
+  (void)g.alloc(0, 3);  // misalign the bump pointer
+  const sim::Addr a = g.alloc(0, 8, 64);
+  EXPECT_EQ(a % 64, 0u);
+  const sim::Addr line = g.alloc_word_line(0);
+  EXPECT_EQ(line % 128, 0u);
+}
+
+TEST(GAlloc, DistinctAddresses) {
+  core::GAlloc g(2, 128);
+  const sim::Addr a = g.alloc(0, 8);
+  const sim::Addr b = g.alloc(0, 8);
+  EXPECT_NE(a, b);
+}
+
+TEST(GAlloc, RoundRobinCyclesNodes) {
+  core::GAlloc g(4, 128);
+  std::set<sim::NodeId> homes;
+  for (int i = 0; i < 4; ++i) {
+    homes.insert(core::GAlloc::home_of(g.alloc_word_line_rr()));
+  }
+  EXPECT_EQ(homes.size(), 4u);
+}
+
+TEST(Machine, SpawnRejectsBadCpu) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;
+  core::Machine m(cfg);
+  EXPECT_THROW(
+      m.spawn(5, [](core::ThreadCtx&) -> sim::Task<void> { co_return; }),
+      std::out_of_range);
+}
+
+TEST(Machine, DetectsDeadlock) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;
+  core::Machine m(cfg);
+  sim::Promise<std::uint64_t> never(m.engine());
+  m.spawn(0, [&](core::ThreadCtx&) -> sim::Task<void> {
+    (void)co_await never.get_future();  // no one will complete this
+  });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(Machine, PendingThreadsTracksLifecycle) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;
+  core::Machine m(cfg);
+  m.spawn(0, [](core::ThreadCtx& t) -> sim::Task<void> {
+    co_await t.compute(10);
+  });
+  m.spawn(1, [](core::ThreadCtx& t) -> sim::Task<void> {
+    co_await t.compute(20);
+  });
+  EXPECT_EQ(m.pending_threads(), 2u);
+  m.run();
+  EXPECT_EQ(m.pending_threads(), 0u);
+}
+
+TEST(Machine, PeekWordFindsOwnerCopy) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 4;
+  core::Machine m(cfg);
+  const sim::Addr a = m.galloc().alloc_word_line(1);
+  m.spawn(0, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    co_await t.store(a, 55);  // stays dirty in cpu0's cache
+  });
+  m.run();
+  EXPECT_EQ(m.backing().read_word(a), 0u);  // memory is stale
+  EXPECT_EQ(m.peek_word(a), 55u);           // peek follows the owner
+}
+
+TEST(Machine, PeekWordFindsAmuCopy) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 4;
+  core::Machine m(cfg);
+  const sim::Addr a = m.galloc().alloc_word_line(1);
+  m.spawn(0, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    // No put (unreachable test): the value lives only in the AMU.
+    (void)co_await t.amo(amu::AmoOpcode::kInc, a, 0, 1000);
+  });
+  m.run();
+  EXPECT_EQ(m.peek_word(a), 1u);
+}
+
+TEST(Machine, StatsAggregateAcrossNodes) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 8;
+  core::Machine m(cfg);
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  const sim::Addr b = m.galloc().alloc_word_line(3);
+  for (sim::CpuId c = 0; c < 8; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.amo_fetch_add(a, 1);
+      (void)co_await t.amo_fetch_add(b, 1);
+    });
+  }
+  m.run();
+  const core::MachineStats s = m.stats();
+  EXPECT_EQ(s.amu.amo_ops, 16u);  // both AMUs summed
+  EXPECT_GT(s.net.packets, 0u);
+  EXPECT_GT(s.events, 0u);
+  EXPECT_EQ(s.cycles, m.engine().now());
+}
+
+TEST(Machine, StatsPrintIsWellFormed) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;
+  core::Machine m(cfg);
+  m.spawn(0, [](core::ThreadCtx& t) -> sim::Task<void> {
+    co_await t.compute(1);
+  });
+  m.run();
+  std::ostringstream oss;
+  m.stats().print(oss);
+  EXPECT_NE(oss.str().find("cycles="), std::string::npos);
+  EXPECT_NE(oss.str().find("amu:"), std::string::npos);
+}
+
+TEST(Machine, DeterministicCycleCounts) {
+  auto run = [](std::uint64_t seed) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = 8;
+    cfg.seed = seed;
+    core::Machine m(cfg);
+    const sim::Addr a = m.galloc().alloc_word_line(0);
+    for (sim::CpuId c = 0; c < 8; ++c) {
+      m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int i = 0; i < 3; ++i) {
+          co_await t.compute(t.rng().below(100));
+          (void)co_await t.amo_fetch_add(a, 1);
+        }
+      });
+    }
+    m.run();
+    return m.engine().now();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different seeds shift the interleaving
+}
+
+TEST(Machine, SingleNodeMachineWorks) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;  // one node: no network at all
+  core::Machine m(cfg);
+  const sim::Addr a = m.galloc().alloc_word_line(0);
+  for (sim::CpuId c = 0; c < 2; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int i = 0; i < 4; ++i) (void)co_await t.amo_fetch_add(a, 1);
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.peek_word(a), 8u);
+  EXPECT_EQ(m.stats().net.packets, 0u);  // everything stayed on-hub
+  EXPECT_GT(m.stats().local.messages, 0u);
+}
+
+}  // namespace
+}  // namespace amo

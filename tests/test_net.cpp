@@ -1,0 +1,235 @@
+// Unit tests for the fat-tree topology and the contention-modelling
+// network fabric.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace amo::net {
+namespace {
+
+TEST(Topology, SingleNodeHasNoRouters) {
+  Topology t(1, 8);
+  EXPECT_EQ(t.levels(), 0u);
+  EXPECT_EQ(t.num_links(), 0u);
+}
+
+TEST(Topology, LevelCounts) {
+  EXPECT_EQ(Topology(2, 8).levels(), 1u);
+  EXPECT_EQ(Topology(8, 8).levels(), 1u);
+  EXPECT_EQ(Topology(9, 8).levels(), 2u);
+  EXPECT_EQ(Topology(64, 8).levels(), 2u);
+  EXPECT_EQ(Topology(65, 8).levels(), 3u);
+  EXPECT_EQ(Topology(128, 8).levels(), 3u);
+  EXPECT_EQ(Topology(512, 8).levels(), 3u);
+}
+
+TEST(Topology, HopCounts) {
+  Topology t(128, 8);
+  EXPECT_EQ(t.hop_count(0, 0), 0u);
+  EXPECT_EQ(t.hop_count(0, 1), 2u);   // same leaf router
+  EXPECT_EQ(t.hop_count(0, 7), 2u);
+  EXPECT_EQ(t.hop_count(0, 8), 4u);   // same level-2 router
+  EXPECT_EQ(t.hop_count(0, 63), 4u);
+  EXPECT_EQ(t.hop_count(0, 64), 6u);  // across the root
+  EXPECT_EQ(t.hop_count(0, 127), 6u);
+  EXPECT_EQ(t.hop_count(64, 127), 4u);
+}
+
+TEST(Topology, HopCountSymmetric) {
+  Topology t(64, 8);
+  for (sim::NodeId a = 0; a < 64; a += 7) {
+    for (sim::NodeId b = 0; b < 64; b += 5) {
+      if (a == b) continue;
+      EXPECT_EQ(t.hop_count(a, b), t.hop_count(b, a));
+    }
+  }
+}
+
+TEST(Topology, RouteLengthMatchesHops) {
+  Topology t(128, 8);
+  const std::pair<sim::NodeId, sim::NodeId> pairs[] = {
+      {0, 1}, {0, 9}, {3, 70}, {127, 0}, {64, 65}};
+  for (auto [a, b] : pairs) {
+    EXPECT_EQ(t.route(a, b).size(), t.hop_count(a, b));
+  }
+}
+
+TEST(Topology, RouteGoesUpThenDown) {
+  Topology t(128, 8);
+  const auto path = t.route(3, 70);
+  bool seen_down = false;
+  for (const LinkRef& l : path) {
+    if (!l.up) seen_down = true;
+    if (seen_down) {
+      EXPECT_FALSE(l.up) << "up link after descending";
+    }
+  }
+  // First link leaves the source node; last link enters the destination.
+  EXPECT_EQ(path.front().level, 0u);
+  EXPECT_EQ(path.front().child, 3u);
+  EXPECT_TRUE(path.front().up);
+  EXPECT_EQ(path.back().level, 0u);
+  EXPECT_EQ(path.back().child, 70u);
+  EXPECT_FALSE(path.back().up);
+}
+
+TEST(Topology, LinkIndicesUniqueAndBounded) {
+  Topology t(64, 8);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t level = 0; level < t.levels(); ++level) {
+    for (std::uint32_t child = 0; child < t.entities_at(level); ++child) {
+      for (bool up : {true, false}) {
+        const std::uint32_t idx = t.link_index(LinkRef{level, child, up});
+        EXPECT_LT(idx, t.num_links());
+        EXPECT_TRUE(seen.insert(idx).second) << "duplicate link index";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), t.num_links());
+}
+
+NetConfig small_net(std::uint32_t nodes) {
+  NetConfig cfg;
+  cfg.num_nodes = nodes;
+  return cfg;
+}
+
+TEST(Network, SerializationCyclesClampToMinPacket) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  // 32B minimum -> ceil(32/16)*10 = 20 cycles.
+  EXPECT_EQ(n.serialization_cycles(1), 20u);
+  EXPECT_EQ(n.serialization_cycles(32), 20u);
+  EXPECT_EQ(n.serialization_cycles(40), 30u);
+  EXPECT_EQ(n.serialization_cycles(160), 100u);
+}
+
+TEST(Network, UncontendedLatencyFormula) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  sim::Cycle arrival = 0;
+  n.send(Packet{0, 1, MsgClass::kRequest, 32, [&] { arrival = e.now(); }});
+  e.run();
+  // 2 hops * 100 + final serialization 20.
+  EXPECT_EQ(arrival, 2u * 100u + 20u);
+  EXPECT_EQ(n.stats().packets, 1u);
+  EXPECT_EQ(n.stats().hops, 2u);
+  EXPECT_EQ(n.stats().bytes, 32u);
+}
+
+TEST(Network, PerPairFifoEvenWithMixedSizes) {
+  sim::Engine e;
+  Network n(e, small_net(8));
+  std::vector<int> order;
+  n.send(Packet{0, 5, MsgClass::kResponse, 160, [&] { order.push_back(1); }});
+  n.send(Packet{0, 5, MsgClass::kUpdate, 40, [&] { order.push_back(2); }});
+  n.send(Packet{0, 5, MsgClass::kRequest, 32, [&] { order.push_back(3); }});
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Network, SharedLinkSerializes) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  sim::Cycle a1 = 0;
+  sim::Cycle a2 = 0;
+  // Both packets leave node 0: they share node 0's up-link.
+  n.send(Packet{0, 1, MsgClass::kRequest, 32, [&] { a1 = e.now(); }});
+  n.send(Packet{0, 2, MsgClass::kRequest, 32, [&] { a2 = e.now(); }});
+  e.run();
+  EXPECT_EQ(a1, 220u);
+  EXPECT_EQ(a2, a1 + 20u);  // delayed by the first packet's serialization
+}
+
+TEST(Network, DisjointPathsDoNotInterfere) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  sim::Cycle a1 = 0;
+  sim::Cycle a2 = 0;
+  n.send(Packet{0, 1, MsgClass::kRequest, 32, [&] { a1 = e.now(); }});
+  n.send(Packet{2, 3, MsgClass::kRequest, 32, [&] { a2 = e.now(); }});
+  e.run();
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(Network, StatsByClass) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  n.send(Packet{0, 1, MsgClass::kInval, 32, [] {}});
+  n.send(Packet{0, 1, MsgClass::kInval, 32, [] {}});
+  n.send(Packet{1, 0, MsgClass::kAck, 32, [] {}});
+  e.run();
+  const auto& s = n.stats();
+  EXPECT_EQ(s.packets_by_class[static_cast<std::size_t>(MsgClass::kInval)],
+            2u);
+  EXPECT_EQ(s.packets_by_class[static_cast<std::size_t>(MsgClass::kAck)], 1u);
+  EXPECT_EQ(s.bytes_by_class[static_cast<std::size_t>(MsgClass::kInval)],
+            64u);
+}
+
+TEST(Network, ResetStatsClears) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  n.send(Packet{0, 1, MsgClass::kRequest, 32, [] {}});
+  e.run();
+  n.reset_stats();
+  EXPECT_EQ(n.stats().packets, 0u);
+  EXPECT_EQ(n.stats().bytes, 0u);
+}
+
+TEST(Network, MulticastWithoutHardwareIsUnicasts) {
+  sim::Engine e;
+  Network n(e, small_net(16));
+  std::vector<sim::NodeId> got;
+  const std::vector<sim::NodeId> dsts{1, 2, 3, 9};
+  n.multicast(0, dsts, MsgClass::kUpdate, 40,
+              [&](sim::NodeId d) { got.push_back(d); });
+  e.run();
+  EXPECT_EQ(got.size(), 4u);
+  EXPECT_EQ(n.stats().packets, 4u);
+}
+
+TEST(Network, HardwareMulticastChargesSharedLinksOnce) {
+  sim::Engine e;
+  NetConfig cfg = small_net(16);
+  cfg.hardware_multicast = true;
+  Network n(e, cfg);
+  // Destinations 8..11 share node 0's up-link and the router-level links;
+  // with multicast those are charged once, so arrivals are simultaneous.
+  std::vector<sim::Cycle> arrivals;
+  const std::vector<sim::NodeId> dsts{8, 9, 10, 11};
+  n.multicast(0, dsts, MsgClass::kUpdate, 40,
+              [&](sim::NodeId) { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  for (sim::Cycle a : arrivals) EXPECT_EQ(a, arrivals.front());
+}
+
+TEST(Network, MulticastSkipsSelf) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  std::vector<sim::NodeId> got;
+  const std::vector<sim::NodeId> dsts{0, 1};
+  n.multicast(0, dsts, MsgClass::kUpdate, 40,
+              [&](sim::NodeId d) { got.push_back(d); });
+  e.run();
+  EXPECT_EQ(got, (std::vector<sim::NodeId>{1}));
+}
+
+TEST(Network, LatencyAccumTracksDeliveries) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  n.send(Packet{0, 1, MsgClass::kRequest, 32, [] {}});
+  n.send(Packet{0, 3, MsgClass::kRequest, 32, [] {}});
+  e.run();
+  EXPECT_EQ(n.stats().latency.count(), 2u);
+  EXPECT_GE(n.stats().latency.min(), 220u);
+}
+
+}  // namespace
+}  // namespace amo::net

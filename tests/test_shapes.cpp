@@ -1,0 +1,142 @@
+// Shape-regression tests: the paper's qualitative results, pinned as
+// assertions so a future change that silently breaks a trend (not just a
+// value) fails CI. These run the real benchmark workloads at reduced
+// sizes through the bench harness.
+#include <gtest/gtest.h>
+
+#include "bench/harness.hpp"
+
+namespace amo {
+namespace {
+
+using bench::BarrierParams;
+using bench::BarrierResult;
+using bench::LockParams;
+using sync::Mechanism;
+
+BarrierResult barrier_at(std::uint32_t cpus, Mechanism mech) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = cpus;
+  BarrierParams params;
+  params.mech = mech;
+  params.episodes = 6;
+  return bench::run_barrier(cfg, params);
+}
+
+TEST(Shapes, MechanismOrderingAtEverySize) {
+  // AMO < MAO < Atomic and AMO < MAO < LL/SC in barrier latency (the
+  // paper's Table 2 ordering), at every size we test.
+  for (std::uint32_t p : {8u, 16u, 32u}) {
+    const double llsc = barrier_at(p, Mechanism::kLlSc).cycles_per_barrier;
+    const double atomic =
+        barrier_at(p, Mechanism::kAtomic).cycles_per_barrier;
+    const double mao = barrier_at(p, Mechanism::kMao).cycles_per_barrier;
+    const double amo = barrier_at(p, Mechanism::kAmo).cycles_per_barrier;
+    EXPECT_LT(amo, mao) << "P=" << p;
+    EXPECT_LT(mao, atomic) << "P=" << p;
+    EXPECT_LT(atomic, llsc) << "P=" << p;
+  }
+}
+
+TEST(Shapes, AmoSpeedupGrowsWithScale) {
+  const double s8 = barrier_at(8, Mechanism::kLlSc).cycles_per_barrier /
+                    barrier_at(8, Mechanism::kAmo).cycles_per_barrier;
+  const double s32 = barrier_at(32, Mechanism::kLlSc).cycles_per_barrier /
+                     barrier_at(32, Mechanism::kAmo).cycles_per_barrier;
+  const double s64 = barrier_at(64, Mechanism::kLlSc).cycles_per_barrier /
+                     barrier_at(64, Mechanism::kAmo).cycles_per_barrier;
+  EXPECT_GT(s32, s8);
+  EXPECT_GT(s64, s32);
+  EXPECT_GT(s64, 15.0);  // paper: 23.8 at 64; guard against collapse
+}
+
+TEST(Shapes, Figure5Signatures) {
+  // LL/SC cycles-per-processor RISES with P (superlinear total);
+  // AMO cycles-per-processor FALLS (t = t_o + t_p*P).
+  const double llsc16 = barrier_at(16, Mechanism::kLlSc).cycles_per_proc;
+  const double llsc64 = barrier_at(64, Mechanism::kLlSc).cycles_per_proc;
+  const double amo16 = barrier_at(16, Mechanism::kAmo).cycles_per_proc;
+  const double amo64 = barrier_at(64, Mechanism::kAmo).cycles_per_proc;
+  EXPECT_GT(llsc64, llsc16);
+  EXPECT_LT(amo64, amo16);
+}
+
+TEST(Shapes, TreesHelpConventionalNotAmo) {
+  // Paper §4.2.2: trees speed up conventional barriers; plain AMO does
+  // not need them (at moderate sizes AMO-central beats AMO+tree).
+  core::SystemConfig cfg;
+  cfg.num_cpus = 32;
+  BarrierParams central;
+  central.episodes = 6;
+  BarrierParams tree = central;
+  tree.kind = bench::BarrierKind::kTree;
+  tree.fanout = 8;
+
+  central.mech = tree.mech = Mechanism::kLlSc;
+  EXPECT_LT(bench::run_barrier(cfg, tree).cycles_per_barrier,
+            bench::run_barrier(cfg, central).cycles_per_barrier);
+
+  central.mech = tree.mech = Mechanism::kAmo;
+  EXPECT_LE(bench::run_barrier(cfg, central).cycles_per_barrier,
+            bench::run_barrier(cfg, tree).cycles_per_barrier);
+}
+
+TEST(Shapes, ArrayLockCrossover) {
+  // Ticket beats array at small P; array beats ticket at large P
+  // (paper Table 4's crossover).
+  auto lock_cycles = [](std::uint32_t cpus, bool array) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = cpus;
+    LockParams params;
+    params.mech = Mechanism::kLlSc;
+    params.array = array;
+    params.iters = 4;
+    return bench::run_lock(cfg, params).total_cycles;
+  };
+  EXPECT_LT(lock_cycles(8, false), lock_cycles(8, true));    // ticket wins
+  EXPECT_GT(lock_cycles(64, false), lock_cycles(64, true));  // array wins
+}
+
+TEST(Shapes, AmoLockTrafficIsLowest) {
+  auto traffic = [](Mechanism mech) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = 32;
+    LockParams params;
+    params.mech = mech;
+    params.iters = 4;
+    return bench::run_lock(cfg, params).traffic.bytes;
+  };
+  const std::uint64_t llsc = traffic(Mechanism::kLlSc);
+  const std::uint64_t amo = traffic(Mechanism::kAmo);
+  EXPECT_LT(amo * 3, llsc);  // at least 3x less traffic (paper: ~10x)
+}
+
+TEST(Shapes, DelayedPutBeatsEagerAtScale) {
+  core::SystemConfig delayed_cfg;
+  delayed_cfg.num_cpus = 32;
+  core::SystemConfig eager_cfg = delayed_cfg;
+  eager_cfg.amu.eager_put_all = true;
+  BarrierParams params;
+  params.mech = Mechanism::kAmo;
+  params.episodes = 6;
+  EXPECT_LT(bench::run_barrier(delayed_cfg, params).cycles_per_barrier,
+            bench::run_barrier(eager_cfg, params).cycles_per_barrier);
+}
+
+TEST(Shapes, AmoAdvantageGrowsWithHopLatency) {
+  auto speedup_at_hop = [](sim::Cycle hop) {
+    core::SystemConfig cfg;
+    cfg.num_cpus = 32;
+    cfg.net.hop_cycles = hop;
+    BarrierParams params;
+    params.episodes = 6;
+    params.mech = Mechanism::kLlSc;
+    const double base = bench::run_barrier(cfg, params).cycles_per_barrier;
+    params.mech = Mechanism::kAmo;
+    return base / bench::run_barrier(cfg, params).cycles_per_barrier;
+  };
+  EXPECT_GT(speedup_at_hop(400), speedup_at_hop(50));
+}
+
+}  // namespace
+}  // namespace amo

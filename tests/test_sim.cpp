@@ -1,0 +1,300 @@
+// Unit tests for the discrete-event kernel: event queue ordering, engine
+// execution, coroutine tasks, promises/futures, timeouts, and the RNG.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/future.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "sim/timeout.hpp"
+
+namespace amo::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    Cycle when = 0;
+    q.pop(when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameCycle) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    Cycle when = 0;
+    q.pop(when)();
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ReportsNextTimeAndSize) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(42, [] {});
+  q.push(7, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 7u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+TEST(Engine, AdvancesClockToEventTime) {
+  Engine e;
+  Cycle seen = 0;
+  e.schedule(100, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, NestedSchedulingUsesCurrentTime) {
+  Engine e;
+  Cycle seen = 0;
+  e.schedule(10, [&] { e.schedule(5, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_EQ(seen, 15u);
+}
+
+TEST(Engine, RunRespectsDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10, [&] { ++fired; });
+  e.schedule(100, [&] { ++fired; });
+  e.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, StepProcessesOneEvent) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1, [&] { ++fired; });
+  e.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+Task<void> delayer(Engine& e, std::vector<Cycle>& marks) {
+  marks.push_back(e.now());
+  co_await e.delay(10);
+  marks.push_back(e.now());
+  co_await e.delay(0);  // zero-cycle delays still yield through the queue
+  marks.push_back(e.now());
+}
+
+TEST(Coroutines, DelayAwaiterAdvancesTime) {
+  Engine e;
+  std::vector<Cycle> marks;
+  detach(delayer(e, marks));
+  e.run();
+  ASSERT_EQ(marks.size(), 3u);
+  EXPECT_EQ(marks[0], 0u);
+  EXPECT_EQ(marks[1], 10u);
+  EXPECT_EQ(marks[2], 10u);
+}
+
+Task<int> answer(Engine& e) {
+  co_await e.delay(1);
+  co_return 42;
+}
+
+Task<void> chain(Engine& e, int& out) {
+  out = co_await answer(e);
+  out += co_await answer(e);
+}
+
+TEST(Coroutines, TasksChainAndReturnValues) {
+  Engine e;
+  int out = 0;
+  detach(chain(e, out));
+  e.run();
+  EXPECT_EQ(out, 84);
+}
+
+Task<int> thrower(Engine& e) {
+  co_await e.delay(1);
+  throw std::runtime_error("boom");
+}
+
+Task<void> catcher(Engine& e, bool& caught) {
+  try {
+    (void)co_await thrower(e);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Coroutines, ExceptionsPropagateToAwaiter) {
+  Engine e;
+  bool caught = false;
+  detach(catcher(e, caught));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Coroutines, DetachOnDoneFires) {
+  Engine e;
+  bool done = false;
+  detach(
+      [](Engine& eng) -> Task<void> { co_await eng.delay(5); }(e),
+      [&done] { done = true; });
+  EXPECT_FALSE(done);
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+Task<void> future_waiter(Future<int> f, int& out) { out = co_await f; }
+
+TEST(Future, CompleteBeforeAwaitIsImmediate) {
+  Engine e;
+  Promise<int> p(e);
+  p.set_value(7);
+  int out = 0;
+  detach(future_waiter(p.get_future(), out));
+  e.run();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Future, CompleteAfterAwaitResumesWaiter) {
+  Engine e;
+  Promise<int> p(e);
+  int out = 0;
+  detach(future_waiter(p.get_future(), out));
+  e.schedule(50, [p] { p.set_value(9); });
+  e.run();
+  EXPECT_EQ(out, 9);
+  EXPECT_TRUE(p.completed());
+}
+
+Task<void> timeout_probe(Engine& e, Future<int> f, Cycle t,
+                         std::optional<int>& out) {
+  out = co_await with_timeout(e, std::move(f), t);
+}
+
+TEST(Timeout, ValueWinsWhenCompletedInTime) {
+  Engine e;
+  Promise<int> p(e);
+  std::optional<int> out;
+  detach(timeout_probe(e, p.get_future(), 100, out));
+  e.schedule(10, [p] { p.set_value(3); });
+  e.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 3);
+}
+
+TEST(Timeout, TimesOutWhenLate) {
+  Engine e;
+  Promise<int> p(e);
+  std::optional<int> out = 123;
+  detach(timeout_probe(e, p.get_future(), 100, out));
+  e.schedule(500, [p] { p.set_value(3); });  // must still complete eventually
+  e.run();
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo_seen |= (v == 3);
+    hi_seen |= (v == 6);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream should not reproduce the parent's next outputs.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Accum, TracksSummary) {
+  Accum a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(10);
+  a.add(20);
+  a.add(30);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 60u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(Accum, MergeCombines) {
+  Accum a;
+  Accum b;
+  a.add(5);
+  b.add(15);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 15u);
+}
+
+}  // namespace
+}  // namespace amo::sim
