@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_amu_cache.dir/ablation_amu_cache.cpp.o"
+  "CMakeFiles/ablation_amu_cache.dir/ablation_amu_cache.cpp.o.d"
+  "ablation_amu_cache"
+  "ablation_amu_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amu_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barrier_styles.dir/ablation_barrier_styles.cpp.o"
+  "CMakeFiles/ablation_barrier_styles.dir/ablation_barrier_styles.cpp.o.d"
+  "ablation_barrier_styles"
+  "ablation_barrier_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barrier_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

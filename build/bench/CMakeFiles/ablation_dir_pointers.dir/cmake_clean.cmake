@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dir_pointers.dir/ablation_dir_pointers.cpp.o"
+  "CMakeFiles/ablation_dir_pointers.dir/ablation_dir_pointers.cpp.o.d"
+  "ablation_dir_pointers"
+  "ablation_dir_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dir_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

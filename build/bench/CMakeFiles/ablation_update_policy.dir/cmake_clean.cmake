@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_policy.dir/ablation_update_policy.cpp.o"
+  "CMakeFiles/ablation_update_policy.dir/ablation_update_policy.cpp.o.d"
+  "ablation_update_policy"
+  "ablation_update_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/amo_bench_harness.dir/harness.cpp.o.d"
+  "libamo_bench_harness.a"
+  "libamo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_locks.dir/extension_locks.cpp.o"
+  "CMakeFiles/extension_locks.dir/extension_locks.cpp.o.d"
+  "extension_locks"
+  "extension_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_message_count.dir/fig1_message_count.cpp.o"
+  "CMakeFiles/fig1_message_count.dir/fig1_message_count.cpp.o.d"
+  "fig1_message_count"
+  "fig1_message_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_message_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

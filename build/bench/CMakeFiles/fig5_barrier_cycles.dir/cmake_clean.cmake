@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_barrier_cycles.dir/fig5_barrier_cycles.cpp.o"
+  "CMakeFiles/fig5_barrier_cycles.dir/fig5_barrier_cycles.cpp.o.d"
+  "fig5_barrier_cycles"
+  "fig5_barrier_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_barrier_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tree_cycles.dir/fig6_tree_cycles.cpp.o"
+  "CMakeFiles/fig6_tree_cycles.dir/fig6_tree_cycles.cpp.o.d"
+  "fig6_tree_cycles"
+  "fig6_tree_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tree_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

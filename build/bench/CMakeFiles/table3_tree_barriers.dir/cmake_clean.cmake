@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tree_barriers.dir/table3_tree_barriers.cpp.o"
+  "CMakeFiles/table3_tree_barriers.dir/table3_tree_barriers.cpp.o.d"
+  "table3_tree_barriers"
+  "table3_tree_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tree_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

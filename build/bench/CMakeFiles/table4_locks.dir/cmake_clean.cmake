@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_locks.dir/table4_locks.cpp.o"
+  "CMakeFiles/table4_locks.dir/table4_locks.cpp.o.d"
+  "table4_locks"
+  "table4_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

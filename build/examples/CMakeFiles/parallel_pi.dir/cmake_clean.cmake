@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_pi.dir/parallel_pi.cpp.o"
+  "CMakeFiles/parallel_pi.dir/parallel_pi.cpp.o.d"
+  "parallel_pi"
+  "parallel_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

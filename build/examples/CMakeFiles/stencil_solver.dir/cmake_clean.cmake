@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_solver.dir/stencil_solver.cpp.o"
+  "CMakeFiles/stencil_solver.dir/stencil_solver.cpp.o.d"
+  "stencil_solver"
+  "stencil_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

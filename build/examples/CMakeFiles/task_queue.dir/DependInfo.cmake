@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/task_queue.cpp" "examples/CMakeFiles/task_queue.dir/task_queue.cpp.o" "gcc" "examples/CMakeFiles/task_queue.dir/task_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/amo_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/amo_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/amo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/amu/CMakeFiles/amo_amu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coh/CMakeFiles/amo_coh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/amo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

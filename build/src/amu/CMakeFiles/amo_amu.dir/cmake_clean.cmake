@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_amu.dir/amu.cpp.o"
+  "CMakeFiles/amo_amu.dir/amu.cpp.o.d"
+  "libamo_amu.a"
+  "libamo_amu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_amu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amo_amu.
+# This may be replaced when dependencies are built.

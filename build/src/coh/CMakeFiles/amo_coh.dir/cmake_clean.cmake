@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_coh.dir/cache_ctrl.cpp.o"
+  "CMakeFiles/amo_coh.dir/cache_ctrl.cpp.o.d"
+  "CMakeFiles/amo_coh.dir/directory.cpp.o"
+  "CMakeFiles/amo_coh.dir/directory.cpp.o.d"
+  "libamo_coh.a"
+  "libamo_coh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_coh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

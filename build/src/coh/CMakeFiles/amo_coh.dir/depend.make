@@ -1,0 +1,2 @@
+# Empty dependencies file for amo_coh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_core.dir/machine.cpp.o"
+  "CMakeFiles/amo_core.dir/machine.cpp.o.d"
+  "libamo_core.a"
+  "libamo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

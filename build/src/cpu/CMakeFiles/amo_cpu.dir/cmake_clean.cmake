@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_cpu.dir/am_server.cpp.o"
+  "CMakeFiles/amo_cpu.dir/am_server.cpp.o.d"
+  "CMakeFiles/amo_cpu.dir/core.cpp.o"
+  "CMakeFiles/amo_cpu.dir/core.cpp.o.d"
+  "libamo_cpu.a"
+  "libamo_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_mem.dir/cache.cpp.o"
+  "CMakeFiles/amo_mem.dir/cache.cpp.o.d"
+  "libamo_mem.a"
+  "libamo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_net.dir/network.cpp.o"
+  "CMakeFiles/amo_net.dir/network.cpp.o.d"
+  "CMakeFiles/amo_net.dir/topology.cpp.o"
+  "CMakeFiles/amo_net.dir/topology.cpp.o.d"
+  "libamo_net.a"
+  "libamo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_par.dir/team.cpp.o"
+  "CMakeFiles/amo_par.dir/team.cpp.o.d"
+  "libamo_par.a"
+  "libamo_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_sim.dir/engine.cpp.o"
+  "CMakeFiles/amo_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/amo_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/amo_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/amo_sim.dir/rng.cpp.o"
+  "CMakeFiles/amo_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/amo_sim.dir/stats.cpp.o"
+  "CMakeFiles/amo_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/amo_sim.dir/trace.cpp.o"
+  "CMakeFiles/amo_sim.dir/trace.cpp.o.d"
+  "libamo_sim.a"
+  "libamo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamo_sim.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/barrier_central.cpp" "src/sync/CMakeFiles/amo_sync.dir/barrier_central.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/barrier_central.cpp.o.d"
+  "/root/repo/src/sync/barrier_extra.cpp" "src/sync/CMakeFiles/amo_sync.dir/barrier_extra.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/barrier_extra.cpp.o.d"
+  "/root/repo/src/sync/barrier_mcs_tree.cpp" "src/sync/CMakeFiles/amo_sync.dir/barrier_mcs_tree.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/barrier_mcs_tree.cpp.o.d"
+  "/root/repo/src/sync/barrier_tree.cpp" "src/sync/CMakeFiles/amo_sync.dir/barrier_tree.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/barrier_tree.cpp.o.d"
+  "/root/repo/src/sync/lock_array.cpp" "src/sync/CMakeFiles/amo_sync.dir/lock_array.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/lock_array.cpp.o.d"
+  "/root/repo/src/sync/lock_mcs.cpp" "src/sync/CMakeFiles/amo_sync.dir/lock_mcs.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/lock_mcs.cpp.o.d"
+  "/root/repo/src/sync/lock_tas.cpp" "src/sync/CMakeFiles/amo_sync.dir/lock_tas.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/lock_tas.cpp.o.d"
+  "/root/repo/src/sync/lock_ticket.cpp" "src/sync/CMakeFiles/amo_sync.dir/lock_ticket.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/lock_ticket.cpp.o.d"
+  "/root/repo/src/sync/mechanism.cpp" "src/sync/CMakeFiles/amo_sync.dir/mechanism.cpp.o" "gcc" "src/sync/CMakeFiles/amo_sync.dir/mechanism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/amo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/amu/CMakeFiles/amo_amu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coh/CMakeFiles/amo_coh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/amo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amo_sync.dir/barrier_central.cpp.o"
+  "CMakeFiles/amo_sync.dir/barrier_central.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/barrier_extra.cpp.o"
+  "CMakeFiles/amo_sync.dir/barrier_extra.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/barrier_mcs_tree.cpp.o"
+  "CMakeFiles/amo_sync.dir/barrier_mcs_tree.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/barrier_tree.cpp.o"
+  "CMakeFiles/amo_sync.dir/barrier_tree.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/lock_array.cpp.o"
+  "CMakeFiles/amo_sync.dir/lock_array.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/lock_mcs.cpp.o"
+  "CMakeFiles/amo_sync.dir/lock_mcs.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/lock_tas.cpp.o"
+  "CMakeFiles/amo_sync.dir/lock_tas.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/lock_ticket.cpp.o"
+  "CMakeFiles/amo_sync.dir/lock_ticket.cpp.o.d"
+  "CMakeFiles/amo_sync.dir/mechanism.cpp.o"
+  "CMakeFiles/amo_sync.dir/mechanism.cpp.o.d"
+  "libamo_sync.a"
+  "libamo_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amo_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

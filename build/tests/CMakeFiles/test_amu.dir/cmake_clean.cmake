@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amu.dir/test_amu.cpp.o"
+  "CMakeFiles/test_amu.dir/test_amu.cpp.o.d"
+  "test_amu"
+  "test_amu.pdb"
+  "test_amu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coh.dir/test_coh.cpp.o"
+  "CMakeFiles/test_coh.dir/test_coh.cpp.o.d"
+  "test_coh"
+  "test_coh.pdb"
+  "test_coh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

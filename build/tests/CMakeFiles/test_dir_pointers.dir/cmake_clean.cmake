@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir_pointers.dir/test_dir_pointers.cpp.o"
+  "CMakeFiles/test_dir_pointers.dir/test_dir_pointers.cpp.o.d"
+  "test_dir_pointers"
+  "test_dir_pointers.pdb"
+  "test_dir_pointers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

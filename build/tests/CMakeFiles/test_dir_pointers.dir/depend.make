@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dir_pointers.
+# This may be replaced when dependencies are built.

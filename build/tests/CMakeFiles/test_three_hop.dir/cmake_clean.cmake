@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_hop.dir/test_three_hop.cpp.o"
+  "CMakeFiles/test_three_hop.dir/test_three_hop.cpp.o.d"
+  "test_three_hop"
+  "test_three_hop.pdb"
+  "test_three_hop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
