@@ -13,7 +13,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "ablation_amu_cache");
   const std::uint32_t cpus = opt.cpus.empty() ? 32 : opt.cpus.front();
   const int iters = opt.iters > 0 ? opt.iters : 6;
   const std::uint32_t lock_counts[] = {1, 2, 4, 8, 16};

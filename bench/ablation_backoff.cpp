@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "ablation_backoff");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{8, 32, 128} : opt.cpus;
   const int iters = opt.iters > 0 ? opt.iters : 6;

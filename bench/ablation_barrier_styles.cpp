@@ -44,7 +44,8 @@ double run_style(std::uint32_t cpus, sync::Mechanism mech, int style,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "ablation_barrier_styles");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64} : opt.cpus;
   const int episodes = opt.episodes > 0 ? opt.episodes : 8;

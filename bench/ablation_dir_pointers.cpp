@@ -68,7 +68,8 @@ Result run(std::uint32_t cpus, std::uint32_t pointers, int rounds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "ablation_dir_pointers");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 128} : opt.cpus;
   const int rounds = opt.iters > 0 ? opt.iters : 10;

@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "ablation_hop_latency");
   const std::uint32_t p = opt.cpus.empty() ? 64 : opt.cpus.front();
   const sim::Cycle hops[] = {25, 50, 100, 200, 400};
 

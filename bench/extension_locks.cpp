@@ -39,13 +39,29 @@ double run_lock_kind(std::uint32_t cpus, sync::Mechanism mech,
     });
   }
   m.run();
-  return static_cast<double>(m.engine().now());
+  const double total = static_cast<double>(m.engine().now());
+  if (bench::JsonReporter* rep = bench::JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "lock_algo";
+    rec["cpus"] = cpus;
+    rec["mechanism"] = sync::to_string(mech);
+    rec["lock"] = kind;
+    rec["iters"] = iters;
+    rec["total_cycles"] = total;
+    rec["traffic"]["packets"] = m.network().stats().packets;
+    rec["traffic"]["bytes"] = m.network().stats().bytes;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
+  return total;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "extension_locks");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{8, 32, 128} : opt.cpus;
   const int iters = opt.iters > 0 ? opt.iters : 5;

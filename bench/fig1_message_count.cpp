@@ -5,6 +5,7 @@
 // one processor per node, the barrier variable homed on a fourth node.
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "core/machine.hpp"
 #include "sim/timeout.hpp"
 #include "sync/mechanism.hpp"
@@ -46,12 +47,25 @@ Result run(sync::Mechanism mech) {
     });
   }
   m.run();
+  if (bench::JsonReporter* rep = bench::JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "fig1_episode";
+    rec["cpus"] = 3;
+    rec["mechanism"] = sync::to_string(mech);
+    rec["one_way_messages"] = m.stats().net.packets;
+    rec["cycles"] = done;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
   return Result{m.stats().net.packets, done};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "fig1_message_count");
   std::printf("Figure 1: one 3-processor barrier episode, variable homed "
               "on a 4th node\n\n");
   std::printf("%-8s %16s %12s\n", "mech", "one-way msgs", "cycles");

@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "fig6_tree_cycles");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? bench::paper_cpu_counts(16) : opt.cpus;
   if (opt.quick) cpus = {16, 32};

@@ -12,7 +12,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "fig7_lock_traffic");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{128, 256} : opt.cpus;
   if (opt.quick) cpus = {32};

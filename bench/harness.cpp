@@ -1,7 +1,11 @@
 #include "bench/harness.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -11,6 +15,65 @@ namespace {
 
 TrafficSnapshot snap(const net::Network& n) {
   return TrafficSnapshot{n.stats().packets, n.stats().bytes};
+}
+
+sim::Json traffic_json(const TrafficSnapshot& t) {
+  sim::Json j = sim::Json::object();
+  j["packets"] = t.packets;
+  j["bytes"] = t.bytes;
+  return j;
+}
+
+// The machine knobs ablations sweep, so --json records are
+// self-describing even when a bench varies more than the CPU count.
+sim::Json config_json(const core::SystemConfig& cfg) {
+  sim::Json j = sim::Json::object();
+  j["num_cpus"] = cfg.num_cpus;
+  j["cpus_per_node"] = cfg.cpus_per_node;
+  j["hop_cycles"] = cfg.net.hop_cycles;
+  j["hardware_multicast"] = cfg.net.hardware_multicast;
+  j["amu_cache_words"] = cfg.amu.cache_words;
+  j["amu_eager_put_all"] = cfg.amu.eager_put_all;
+  j["seed"] = cfg.seed;
+  return j;
+}
+
+void record_barrier(const core::SystemConfig& cfg, const BarrierParams& params,
+                    const BarrierResult& r, const core::Machine& m) {
+  JsonReporter* rep = JsonReporter::current();
+  if (rep == nullptr || !rep->active()) return;
+  sim::Json rec = sim::Json::object();
+  rec["workload"] = "barrier";
+  rec["cpus"] = cfg.num_cpus;
+  rec["mechanism"] = sync::to_string(params.mech);
+  rec["barrier"] = params.kind == BarrierKind::kCentral ? "central" : "tree";
+  if (params.kind == BarrierKind::kTree) rec["fanout"] = params.fanout;
+  rec["episodes"] = params.episodes;
+  rec["cycles_per_barrier"] = r.cycles_per_barrier;
+  rec["cycles_per_proc"] = r.cycles_per_proc;
+  rec["traffic"] = traffic_json(r.traffic);
+  rec["config"] = config_json(cfg);
+  rec["registry"] = m.stats_json();
+  rep->add(std::move(rec));
+}
+
+void record_lock(const core::SystemConfig& cfg, const LockParams& params,
+                 const LockResult& r, const core::Machine& m) {
+  JsonReporter* rep = JsonReporter::current();
+  if (rep == nullptr || !rep->active()) return;
+  sim::Json rec = sim::Json::object();
+  rec["workload"] = "lock";
+  rec["cpus"] = cfg.num_cpus;
+  rec["mechanism"] = sync::to_string(params.mech);
+  rec["lock"] = params.array ? "array" : "ticket";
+  rec["iters"] = params.iters;
+  rec["cs_cycles"] = params.cs_cycles;
+  rec["total_cycles"] = r.total_cycles;
+  rec["cycles_per_acquire"] = r.cycles_per_acquire;
+  rec["traffic"] = traffic_json(r.traffic);
+  rec["config"] = config_json(cfg);
+  rec["registry"] = m.stats_json();
+  rep->add(std::move(rec));
 }
 
 }  // namespace
@@ -59,6 +122,7 @@ BarrierResult run_barrier(const core::SystemConfig& cfg,
   r.cycles_per_proc = r.cycles_per_barrier / cfg.num_cpus;
   r.traffic.packets = traffic_end.packets - traffic_start.packets;
   r.traffic.bytes = traffic_end.bytes - traffic_start.bytes;
+  record_barrier(cfg, params, r, m);
   return r;
 }
 
@@ -115,6 +179,7 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
       r.total_cycles / (static_cast<double>(cfg.num_cpus) * params.iters);
   r.traffic.packets = traffic_end.packets - traffic_start.packets;
   r.traffic.bytes = traffic_end.bytes - traffic_start.bytes;
+  record_lock(cfg, params, r, m);
   return r;
 }
 
@@ -127,35 +192,143 @@ std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus) {
   return out;
 }
 
+namespace {
+
+/// Parses the leading decimal digits of `s`; sets `*end` past them.
+/// Throws when `s` does not start with a digit or the value overflows.
+std::uint64_t parse_digits(const char* s, const char** end, const char* flag) {
+  if (*s < '0' || *s > '9') {
+    throw std::runtime_error(std::string(flag) + ": expected a number, got '" +
+                             s + "'");
+  }
+  errno = 0;
+  char* stop = nullptr;
+  const unsigned long long v = std::strtoull(s, &stop, 10);
+  if (errno == ERANGE) {
+    throw std::runtime_error(std::string(flag) + ": value out of range");
+  }
+  *end = stop;
+  return v;
+}
+
+/// Whole-string positive integer with an inclusive upper bound.
+std::uint64_t parse_positive(const char* s, const char* flag,
+                             std::uint64_t max) {
+  const char* end = nullptr;
+  const std::uint64_t v = parse_digits(s, &end, flag);
+  if (*end != '\0') {
+    throw std::runtime_error(std::string(flag) + ": trailing garbage in '" +
+                             s + "'");
+  }
+  if (v == 0 || v > max) {
+    throw std::runtime_error(std::string(flag) + ": value must be in [1, " +
+                             std::to_string(max) + "]");
+  }
+  return v;
+}
+
+}  // namespace
+
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions opt;
+  constexpr std::uint64_t kMaxCpus = 1u << 20;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--cpus=", 7) == 0) {
       opt.cpus.clear();
       const char* p = a + 7;
-      while (*p != '\0') {
-        opt.cpus.push_back(
-            static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
-        p = std::strchr(p, ',');
-        if (p == nullptr) break;
-        ++p;
+      while (true) {
+        const char* end = nullptr;
+        const std::uint64_t v = parse_digits(p, &end, "--cpus");
+        if (v == 0 || v > kMaxCpus) {
+          throw std::runtime_error("--cpus: counts must be in [1, " +
+                                   std::to_string(kMaxCpus) + "]");
+        }
+        opt.cpus.push_back(static_cast<std::uint32_t>(v));
+        if (*end == '\0') break;
+        if (*end != ',') {
+          throw std::runtime_error(
+              std::string("--cpus: malformed list '") + (a + 7) + "'");
+        }
+        p = end + 1;
       }
     } else if (std::strncmp(a, "--episodes=", 11) == 0) {
-      opt.episodes = std::atoi(a + 11);
+      opt.episodes = static_cast<int>(parse_positive(
+          a + 11, "--episodes", std::numeric_limits<int>::max()));
     } else if (std::strncmp(a, "--iters=", 8) == 0) {
-      opt.iters = std::atoi(a + 8);
+      opt.iters = static_cast<int>(
+          parse_positive(a + 8, "--iters", std::numeric_limits<int>::max()));
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      if (a[7] == '\0') {
+        throw std::runtime_error("--json: requires a file path");
+      }
+      opt.json_path = a + 7;
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "options: --cpus=a,b,c  --episodes=N  --iters=N  --quick\n");
+          "options: --cpus=a,b,c  --episodes=N  --iters=N  --quick"
+          "  --json=PATH\n");
       std::exit(0);
     } else {
       throw std::runtime_error(std::string("unknown option: ") + a);
     }
   }
   return opt;
+}
+
+CliOptions parse_cli_or_exit(int argc, char** argv) {
+  try {
+    return parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n(try --help)\n",
+                 argc > 0 ? argv[0] : "bench", e.what());
+    std::exit(2);
+  }
+}
+
+namespace {
+JsonReporter* g_reporter = nullptr;
+}  // namespace
+
+JsonReporter::JsonReporter(const CliOptions& opt, std::string bench_name)
+    : path_(opt.json_path), name_(std::move(bench_name)) {
+  if (g_reporter != nullptr) {
+    throw std::logic_error("JsonReporter: another reporter is already active");
+  }
+  g_reporter = this;
+}
+
+JsonReporter::~JsonReporter() {
+  g_reporter = nullptr;
+  try {
+    write();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "JsonReporter: %s\n", e.what());
+  }
+}
+
+JsonReporter* JsonReporter::current() { return g_reporter; }
+
+void JsonReporter::add(sim::Json record) {
+  if (active()) records_.push_back(std::move(record));
+}
+
+void JsonReporter::write() {
+  if (!active() || written_) return;
+  written_ = true;
+  sim::Json doc = sim::Json::object();
+  doc["bench"] = name_;
+  doc["schema_version"] = 1;
+  doc["records"] = records_;
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path_ + "' for writing");
+  }
+  out << doc.dump(2) << '\n';
+  if (!out.good()) {
+    throw std::runtime_error("short write to '" + path_ + "'");
+  }
 }
 
 void print_header(const std::string& title, const std::string& col0,

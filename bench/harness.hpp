@@ -9,6 +9,7 @@
 
 #include "core/machine.hpp"
 #include "net/network.hpp"
+#include "sim/json.hpp"
 #include "sync/barrier.hpp"
 #include "sync/lock.hpp"
 #include "sync/mechanism.hpp"
@@ -60,14 +61,60 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params);
 /// The paper's processor-count axis (Tables 2/4); Table 3 starts at 16.
 std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus = 4);
 
-/// Parses --cpus=a,b,c / --episodes=N / --iters=N style overrides.
+/// Parses --cpus=a,b,c / --episodes=N / --iters=N / --json=path overrides.
 struct CliOptions {
   std::vector<std::uint32_t> cpus;
   int episodes = 0;  // 0 = keep default
   int iters = 0;
-  bool quick = false;  // trimmed sweep for CI
+  bool quick = false;      // trimmed sweep for CI
+  std::string json_path;   // empty = no machine-readable output
 };
+
+/// Strict parser: malformed values (non-numeric, empty, zero CPU counts,
+/// out-of-range) throw std::runtime_error with a message naming the flag.
 CliOptions parse_cli(int argc, char** argv);
+
+/// Same, but prints the error to stderr and exits(2) — what bench main()s
+/// use so bad input yields a clear message and a non-zero exit code.
+CliOptions parse_cli_or_exit(int argc, char** argv);
+
+/// Collects machine-readable benchmark records and writes them as one JSON
+/// document ({bench, schema_version, records: [...]}) on destruction.
+///
+/// Constructing a reporter installs it as the process-wide sink that
+/// run_barrier()/run_lock() feed records into (each record carries the
+/// swept config, the measured results, traffic deltas, and a full
+/// StatsRegistry dump), so a bench main() only needs:
+///
+///   bench::JsonReporter rep(opt, "table2_barriers");
+///
+/// Hand-rolled benches append their own records via current()->add().
+/// Inactive (no --json=path) reporters are no-ops.
+class JsonReporter {
+ public:
+  JsonReporter(const CliOptions& opt, std::string bench_name);
+  ~JsonReporter();
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+  void add(sim::Json record);
+
+  /// Records accumulated so far (a JSON array) — mainly for tests.
+  [[nodiscard]] const sim::Json& records() const { return records_; }
+
+  /// Writes the document now (also done by the destructor, once).
+  void write();
+
+  /// The installed sink, or nullptr when no reporter is alive.
+  [[nodiscard]] static JsonReporter* current();
+
+ private:
+  std::string path_;
+  std::string name_;
+  sim::Json records_ = sim::Json::array();
+  bool written_ = false;
+};
 
 /// Fixed-width table printing helpers.
 void print_header(const std::string& title, const std::string& col0,

@@ -17,7 +17,8 @@
 
 int main(int argc, char** argv) {
   using namespace amo;
-  bench::CliOptions opt = bench::parse_cli(argc, argv);
+  bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
+  bench::JsonReporter reporter(opt, "table4_locks");
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
   if (opt.quick) cpus = {4, 8, 16};

@@ -223,4 +223,17 @@ void Amu::drop_block(sim::Addr block) {
   }
 }
 
+void Amu::register_stats(sim::StatsRegistry& reg,
+                         const std::string& prefix) const {
+  reg.add_counter(prefix + ".ops", &stats_.ops);
+  reg.add_counter(prefix + ".amo_ops", &stats_.amo_ops);
+  reg.add_counter(prefix + ".mao_ops", &stats_.mao_ops);
+  reg.add_counter(prefix + ".cache_hits", &stats_.cache_hits);
+  reg.add_counter(prefix + ".cache_misses", &stats_.cache_misses);
+  reg.add_counter(prefix + ".evictions", &stats_.evictions);
+  reg.add_counter(prefix + ".puts", &stats_.puts);
+  reg.add_counter(prefix + ".puts_suppressed", &stats_.puts_suppressed);
+  reg.add_accum(prefix + ".queue_depth", &stats_.queue_depth);
+}
+
 }  // namespace amo::amu

@@ -29,6 +29,7 @@
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
 
 namespace amo::amu {
@@ -79,6 +80,9 @@ class Amu final : public coh::AmuIface {
   void drop_block(sim::Addr block) override;
 
   [[nodiscard]] const AmuStats& stats() const { return stats_; }
+
+  /// Registers this AMU's counters under `prefix`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
   [[nodiscard]] std::size_t queue_len() const { return queue_.size(); }
 
  private:

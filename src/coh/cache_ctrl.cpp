@@ -343,4 +343,22 @@ void CacheCtrl::on_word_update(sim::Addr addr, std::uint64_t value) {
   notify_line(l2_.line_base(addr));
 }
 
+void CacheCtrl::register_stats(sim::StatsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.add_counter(prefix + ".loads", &stats_.loads);
+  reg.add_counter(prefix + ".stores", &stats_.stores);
+  reg.add_counter(prefix + ".ll", &stats_.ll);
+  reg.add_counter(prefix + ".sc_success", &stats_.sc_success);
+  reg.add_counter(prefix + ".sc_fail", &stats_.sc_fail);
+  reg.add_counter(prefix + ".atomics", &stats_.atomics);
+  reg.add_counter(prefix + ".miss_gets", &stats_.miss_gets);
+  reg.add_counter(prefix + ".miss_getx", &stats_.miss_getx);
+  reg.add_counter(prefix + ".miss_upgrade", &stats_.miss_upgrade);
+  reg.add_counter(prefix + ".recalls", &stats_.recalls);
+  reg.add_counter(prefix + ".invals", &stats_.invals);
+  reg.add_counter(prefix + ".word_updates", &stats_.word_updates);
+  reg.add_counter(prefix + ".writebacks", &stats_.writebacks);
+  l2_.register_stats(reg, prefix + ".l2");
+}
+
 }  // namespace amo::coh

@@ -24,6 +24,7 @@
 #include "coh/wiring.hpp"
 #include "mem/cache.hpp"
 #include "sim/future.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 
@@ -106,6 +107,10 @@ class CacheCtrl final : public CacheIface {
   [[nodiscard]] mem::Cache& l2() { return l2_; }
   [[nodiscard]] const mem::Cache& l2() const { return l2_; }
   [[nodiscard]] const CacheCtrlStats& stats() const { return stats_; }
+
+  /// Registers controller counters under `prefix` and the backing L2's
+  /// under `prefix + ".l2"`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
   [[nodiscard]] bool link_armed() const { return link_valid_; }
 
  private:

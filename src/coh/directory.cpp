@@ -627,4 +627,22 @@ bool Directory::coarse(sim::Addr block) const {
   return e != nullptr && e->coarse;
 }
 
+void Directory::register_stats(sim::StatsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.add_counter(prefix + ".gets", &stats_.gets);
+  reg.add_counter(prefix + ".getx", &stats_.getx);
+  reg.add_counter(prefix + ".upgrades", &stats_.upgrades);
+  reg.add_counter(prefix + ".putbacks", &stats_.putbacks);
+  reg.add_counter(prefix + ".invals_sent", &stats_.invals_sent);
+  reg.add_counter(prefix + ".recalls_sent", &stats_.recalls_sent);
+  reg.add_counter(prefix + ".overflows", &stats_.overflows);
+  reg.add_counter(prefix + ".broadcast_invals", &stats_.broadcast_invals);
+  reg.add_counter(prefix + ".word_gets", &stats_.word_gets);
+  reg.add_counter(prefix + ".word_puts", &stats_.word_puts);
+  reg.add_counter(prefix + ".word_updates_sent", &stats_.word_updates_sent);
+  reg.add_counter(prefix + ".uncached_reads", &stats_.uncached_reads);
+  reg.add_counter(prefix + ".uncached_writes", &stats_.uncached_writes);
+  reg.add_counter(prefix + ".deferred", &stats_.deferred);
+}
+
 }  // namespace amo::coh

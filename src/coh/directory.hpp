@@ -21,6 +21,7 @@
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
 #include "sim/future.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
 
 namespace amo::coh {
@@ -111,6 +112,9 @@ class Directory {
   [[nodiscard]] bool busy(sim::Addr block) const;
   [[nodiscard]] bool coarse(sim::Addr block) const;
   [[nodiscard]] const DirStats& stats() const { return stats_; }
+
+  /// Registers this directory's counters under `prefix`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
   [[nodiscard]] sim::NodeId node() const { return node_; }
 
  private:

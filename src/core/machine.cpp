@@ -64,6 +64,23 @@ Machine::Machine(const SystemConfig& config)
         config_.am_server));
     devices_.servers[n] = servers_[n].get();
   }
+
+  // Index every subsystem's counters under hierarchical names. The
+  // registry only holds pointers; all pointees are owned by this Machine.
+  engine_.register_stats(registry_, "engine");
+  network_->register_stats(registry_, "net");
+  registry_.add_counter("local.messages", &wiring_->local_stats().messages);
+  registry_.add_counter("local.bytes", &wiring_->local_stats().bytes);
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    const std::string prefix = "node" + std::to_string(n);
+    dirs_[n]->register_stats(registry_, prefix + ".dir");
+    amus_[n]->register_stats(registry_, prefix + ".amu");
+    servers_[n]->register_stats(registry_, prefix + ".am");
+  }
+  for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
+    cores_[c]->cache().register_stats(registry_,
+                                      "cpu" + std::to_string(c) + ".cache");
+  }
 }
 
 void Machine::spawn(sim::CpuId c,

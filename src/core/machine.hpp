@@ -37,6 +37,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
 
 namespace amo::core {
@@ -95,6 +96,16 @@ class Machine {
   /// Machine-wide aggregated statistics.
   [[nodiscard]] MachineStats stats() const;
 
+  /// The full-system stats registry: every subsystem's counters under
+  /// hierarchical names ("engine.*", "net.*", "node<N>.{dir,amu,am}.*",
+  /// "cpu<C>.cache.*"). Populated once at construction.
+  [[nodiscard]] const sim::StatsRegistry& registry() const {
+    return registry_;
+  }
+
+  /// Snapshot of the whole registry as a nested JSON document.
+  [[nodiscard]] sim::Json stats_json() const { return registry_.snapshot(); }
+
   /// Verifies coherence invariants; call only when the engine is idle.
   /// Throws std::logic_error on violation (used by tests).
   void check_coherence() const;
@@ -122,6 +133,7 @@ class Machine {
   std::vector<std::unique_ptr<cpu::Core>> cores_;
   std::vector<std::unique_ptr<cpu::AmServer>> servers_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  sim::StatsRegistry registry_;
 
   // deque: spawn keeps a reference to the stored functor until the thread
   // starts, so the container must not relocate elements.

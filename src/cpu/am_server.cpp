@@ -83,4 +83,12 @@ void AmServer::send_reply(sim::CpuId dst, sim::Promise<std::uint64_t> reply,
                });
 }
 
+void AmServer::register_stats(sim::StatsRegistry& reg,
+                              const std::string& prefix) const {
+  reg.add_counter(prefix + ".requests", &stats_.requests);
+  reg.add_counter(prefix + ".duplicates", &stats_.duplicates);
+  reg.add_counter(prefix + ".replays", &stats_.replays);
+  reg.add_counter(prefix + ".handled", &stats_.handled);
+}
+
 }  // namespace amo::cpu

@@ -54,6 +54,9 @@ class AmServer {
 
   [[nodiscard]] const AmServerStats& stats() const { return stats_; }
 
+  /// Registers handler counters under `prefix`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
+
  private:
   struct Request {
     sim::CpuId src;

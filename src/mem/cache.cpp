@@ -164,4 +164,14 @@ void TagCache::invalidate(sim::Addr addr) {
   }
 }
 
+void Cache::register_stats(sim::StatsRegistry& reg,
+                           const std::string& prefix) const {
+  reg.add_counter(prefix + ".hits", &stats_.hits);
+  reg.add_counter(prefix + ".misses", &stats_.misses);
+  reg.add_counter(prefix + ".evictions", &stats_.evictions);
+  reg.add_counter(prefix + ".dirty_evictions", &stats_.dirty_evictions);
+  reg.add_counter(prefix + ".invals_received", &stats_.invals_received);
+  reg.add_counter(prefix + ".word_updates", &stats_.word_updates);
+}
+
 }  // namespace amo::mem

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
 namespace amo::mem {
@@ -85,6 +86,9 @@ class Cache {
 
   [[nodiscard]] CacheStats& stats() { return stats_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Registers hit/miss/eviction counters under `prefix`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
 
   /// Iterates all valid lines (coherence-invariant checks in tests).
   template <typename Fn>

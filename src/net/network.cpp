@@ -22,6 +22,22 @@ const char* to_string(MsgClass c) {
   return "?";
 }
 
+void Network::register_stats(sim::StatsRegistry& reg,
+                             const std::string& prefix) const {
+  reg.add_counter(prefix + ".packets", &stats_.packets);
+  reg.add_counter(prefix + ".bytes", &stats_.bytes);
+  reg.add_counter(prefix + ".hops", &stats_.hops);
+  reg.add_accum(prefix + ".latency", &stats_.latency);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MsgClass::kCount);
+       ++i) {
+    const std::string cls = to_string(static_cast<MsgClass>(i));
+    reg.add_counter(prefix + ".packets_by_class." + cls,
+                    &stats_.packets_by_class[i]);
+    reg.add_counter(prefix + ".bytes_by_class." + cls,
+                    &stats_.bytes_by_class[i]);
+  }
+}
+
 Network::Network(sim::Engine& engine, const NetConfig& config,
                  sim::Tracer* tracer)
     : engine_(engine),

@@ -23,6 +23,7 @@
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
 
 namespace amo::net {
@@ -68,6 +69,10 @@ class Network {
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
+
+  /// Registers fabric counters (totals, per-class breakdowns, latency
+  /// distribution) into a stats registry under `prefix`.
+  void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const NetConfig& config() const { return config_; }

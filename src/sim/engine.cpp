@@ -15,6 +15,13 @@ std::uint64_t Engine::run(Cycle deadline) {
   return processed;
 }
 
+void Engine::register_stats(StatsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.add_counter(prefix + ".events_executed", &executed_);
+  reg.add_fn(prefix + ".now", [this] { return now_; });
+  queue_.register_stats(reg, prefix + ".queue");
+}
+
 bool Engine::step() {
   if (queue_.empty()) return false;
   Cycle when = 0;

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "sim/event_queue.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
 namespace amo::sim {
@@ -26,9 +27,11 @@ class Engine {
     queue_.push(now_ + delay, std::move(fn));
   }
 
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  /// Schedules `fn` at absolute time `when`. Times in the past are
+  /// clamped to now(): the clock never rewinds, and a clamped event keeps
+  /// its FIFO position among other events scheduled for the current cycle.
   void schedule_at(Cycle when, EventQueue::Callback fn) {
-    queue_.push(when, std::move(fn));
+    queue_.push(when < now_ ? now_ : when, std::move(fn));
   }
 
   /// Runs until the event queue drains or `deadline` is passed.
@@ -47,6 +50,10 @@ class Engine {
   }
   /// Total events executed by run()/step().
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Registers the engine's counters (and the queue's, under
+  /// `prefix + ".queue"`) into a stats registry.
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
   /// Awaitable that suspends the calling coroutine for `cycles`.
   struct DelayAwaiter {

@@ -8,6 +8,13 @@ void EventQueue::push(Cycle when, Callback fn) {
   heap_.push(Entry{when, seq_++, std::move(fn)});
 }
 
+void EventQueue::register_stats(StatsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.add_counter(prefix + ".pushed", &seq_);
+  reg.add_fn(prefix + ".pending",
+             [this] { return static_cast<std::uint64_t>(heap_.size()); });
+}
+
 EventQueue::Callback EventQueue::pop(Cycle& when_out) {
   // priority_queue::top() is const; the callback must be moved out, so we
   // const_cast the entry. This is safe: we pop immediately after.

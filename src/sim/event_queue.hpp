@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
 namespace amo::sim {
@@ -37,6 +39,9 @@ class EventQueue {
 
   /// Total number of events ever pushed (for throughput accounting).
   [[nodiscard]] std::uint64_t total_pushed() const { return seq_; }
+
+  /// Registers queue-level counters into a stats registry.
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   struct Entry {

@@ -1,0 +1,422 @@
+#include "sim/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace amo::sim {
+
+namespace {
+
+constexpr int kMaxParseDepth = 200;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional substitute.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+  // Keep the value recognizably floating-point so a re-parse restores the
+  // same type (e.g. 8.0 must not come back as the integer 8).
+  if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+/// Recursive-descent parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxParseDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value(depth + 1);
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF && consume_literal("\\u")) {
+            const unsigned lo = parse_hex4();
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              fail("invalid low surrogate");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool floating = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("invalid number");
+    errno = 0;
+    char* end = nullptr;
+    if (!floating) {
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (end == token.c_str() + token.size() && errno != ERANGE) {
+          return Json(static_cast<std::int64_t>(v));
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (end == token.c_str() + token.size() && errno != ERANGE) {
+          return Json(static_cast<std::uint64_t>(v));
+        }
+      }
+      errno = 0;  // integer overflow: fall through to double
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t Json::as_uint() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) throw std::runtime_error("Json::as_uint: negative value");
+    return static_cast<std::uint64_t>(*i);
+  }
+  throw std::runtime_error("Json::as_uint: not an integer");
+}
+
+std::int64_t Json::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u > static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max())) {
+      throw std::runtime_error("Json::as_int: value too large");
+    }
+    return static_cast<std::int64_t>(*u);
+  }
+  throw std::runtime_error("Json::as_int: not an integer");
+}
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw std::runtime_error("Json::as_double: not a number");
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  auto& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(key, Json{});
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json* Json::find_path(std::string_view dotted) const {
+  const Json* cur = this;
+  while (cur != nullptr && !dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view head = dotted.substr(0, dot);
+    cur = cur->find(std::string(head));
+    dotted = dot == std::string_view::npos ? std::string_view{}
+                                           : dotted.substr(dot + 1);
+  }
+  return cur;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw std::out_of_range("Json::at: no key '" + key + "'");
+  return *v;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (const auto* obj = std::get_if<Object>(&value_)) return obj->size();
+  if (const auto* arr = std::get_if<Array>(&value_)) return arr->size();
+  throw std::runtime_error("Json::size: not a container");
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          out += "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::uint64_t> ||
+                             std::is_same_v<T, std::int64_t>) {
+          out += std::to_string(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          append_double(out, v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          append_escaped(out, v);
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            out += "{}";
+            return;
+          }
+          out += '{';
+          bool first = true;
+          for (const auto& [key, val] : v) {
+            if (!first) out += ',';
+            first = false;
+            if (pretty) append_newline_indent(out, indent, depth + 1);
+            append_escaped(out, key);
+            out += pretty ? ": " : ":";
+            val.dump_to(out, indent, depth + 1);
+          }
+          if (pretty) append_newline_indent(out, indent, depth);
+          out += '}';
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            out += "[]";
+            return;
+          }
+          out += '[';
+          bool first = true;
+          for (const auto& val : v) {
+            if (!first) out += ',';
+            first = false;
+            if (pretty) append_newline_indent(out, indent, depth + 1);
+            val.dump_to(out, indent, depth + 1);
+          }
+          if (pretty) append_newline_indent(out, indent, depth);
+          out += ']';
+        }
+      },
+      value_);
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace amo::sim

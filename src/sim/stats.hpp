@@ -2,10 +2,11 @@
 //
 // Hardware models keep plain structs of counters (cheap, no string lookups
 // on the hot path); `Accum` summarizes distributions (latencies, queue
-// depths) as count/sum/min/max.
+// depths) as count/sum/min/max/mean/variance.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <ostream>
@@ -15,7 +16,8 @@
 
 namespace amo::sim {
 
-/// Streaming scalar summary: count, sum, min, max, mean.
+/// Streaming scalar summary: count, sum, min, max, mean, and variance
+/// (Welford's online algorithm, so no catastrophic cancellation).
 class Accum {
  public:
   void add(std::uint64_t v) {
@@ -23,6 +25,10 @@ class Accum {
     sum_ += v;
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
+    const double x = static_cast<double>(v);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
   }
   void reset() { *this = Accum{}; }
 
@@ -30,12 +36,26 @@ class Accum {
   [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
   [[nodiscard]] std::uint64_t max() const { return max_; }
-  [[nodiscard]] double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
-                  : 0.0;
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
   }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
 
+  /// Merges another accumulator (Chan et al. parallel combination).
+  /// Empty-safe: merging an empty side never disturbs min/max/mean state.
   Accum& operator+=(const Accum& o) {
+    if (o.count_ == 0) return *this;
+    if (count_ == 0) {
+      *this = o;
+      return *this;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    mean_ = (n1 * mean_ + n2 * o.mean_) / (n1 + n2);
     count_ += o.count_;
     sum_ += o.sum_;
     min_ = std::min(min_, o.min_);
@@ -48,6 +68,8 @@ class Accum {
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
 };
 
 /// A named (label, value) table used when printing run summaries.

@@ -1,0 +1,63 @@
+#include "sim/stats_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace amo::sim {
+
+void StatsRegistry::add(std::string name, std::function<Json()> read) {
+  if (!names_.insert(name).second) {
+    throw std::logic_error("StatsRegistry: duplicate name '" + name + "'");
+  }
+  entries_.push_back(Entry{std::move(name), std::move(read)});
+}
+
+void StatsRegistry::add_counter(const std::string& name,
+                                const std::uint64_t* counter) {
+  add(name, [counter] { return Json(*counter); });
+}
+
+void StatsRegistry::add_fn(const std::string& name,
+                           std::function<std::uint64_t()> fn) {
+  add(name, [fn = std::move(fn)] { return Json(fn()); });
+}
+
+void StatsRegistry::add_accum(const std::string& name, const Accum* accum) {
+  add(name, [accum] {
+    Json j = Json::object();
+    j["count"] = accum->count();
+    j["sum"] = accum->sum();
+    j["min"] = accum->min();
+    j["max"] = accum->max();
+    j["mean"] = accum->mean();
+    j["stddev"] = accum->stddev();
+    return j;
+  });
+}
+
+Json StatsRegistry::value(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.read();
+  }
+  throw std::out_of_range("StatsRegistry: no entry named '" + name + "'");
+}
+
+Json StatsRegistry::snapshot() const {
+  Json root = Json::object();
+  for (const Entry& e : entries_) {
+    Json* node = &root;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t dot = e.name.find('.', start);
+      if (dot == std::string::npos) {
+        (*node)[e.name.substr(start)] = e.read();
+        break;
+      }
+      node = &(*node)[e.name.substr(start, dot - start)];
+      start = dot + 1;
+    }
+  }
+  return root;
+}
+
+}  // namespace amo::sim

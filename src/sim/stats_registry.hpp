@@ -1,0 +1,60 @@
+// Machine-wide stats registry.
+//
+// Hardware models keep plain structs of counters so the hot path never
+// touches a string; this registry is the cold-path index over them.
+// Subsystems register raw pointers to their counters (or closures, for
+// derived values) under hierarchical dotted names — "node3.amu.cache_hits",
+// "cpu0.cache.l2.misses" — and `snapshot()` lazily reads everything into a
+// nested, insertion-ordered Json document suitable for the bench `--json`
+// output and CI regression gating.
+//
+// Registered pointers are read, never written; the pointed-to objects must
+// outlive the registry (core::Machine owns both sides).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+
+namespace amo::sim {
+
+class StatsRegistry {
+ public:
+  /// Registers a plain counter by address.
+  void add_counter(const std::string& name, const std::uint64_t* counter);
+
+  /// Registers a derived value computed at snapshot time.
+  void add_fn(const std::string& name, std::function<std::uint64_t()> fn);
+
+  /// Registers a distribution; it snapshots as an object with
+  /// count/sum/min/max/mean/stddev fields.
+  void add_accum(const std::string& name, const Accum* accum);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Reads a single entry by its full dotted name.
+  /// Throws std::out_of_range when the name was never registered.
+  [[nodiscard]] Json value(const std::string& name) const;
+
+  /// Reads every entry into a nested Json object: dotted-name segments
+  /// become nested objects, in registration order.
+  [[nodiscard]] Json snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::function<Json()> read;
+  };
+
+  void add(std::string name, std::function<Json()> read);
+
+  std::vector<Entry> entries_;
+  std::unordered_set<std::string> names_;  // duplicate-registration guard
+};
+
+}  // namespace amo::sim

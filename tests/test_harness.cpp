@@ -2,6 +2,9 @@
 // basic sanity (they are the layer every reported number flows through).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "bench/harness.hpp"
@@ -44,6 +47,47 @@ TEST(Cli, RejectsUnknownOption) {
   EXPECT_THROW(parse({"--bogus"}), std::runtime_error);
 }
 
+// Regression: malformed numeric values used to be silently parsed as 0
+// (atoi/strtoul) and ignored; they must be hard errors.
+TEST(Cli, RejectsMalformedCpuLists) {
+  EXPECT_THROW(parse({"--cpus="}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=abc"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=4,x,8"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=4,,8"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=4,"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=,4"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=0"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=16x"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=-4"}), std::runtime_error);
+  EXPECT_THROW(parse({"--cpus=99999999999999999999"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsMalformedEpisodesAndIters) {
+  EXPECT_THROW(parse({"--episodes="}), std::runtime_error);
+  EXPECT_THROW(parse({"--episodes=abc"}), std::runtime_error);
+  EXPECT_THROW(parse({"--episodes=-3"}), std::runtime_error);
+  EXPECT_THROW(parse({"--episodes=0"}), std::runtime_error);
+  EXPECT_THROW(parse({"--episodes=3.5"}), std::runtime_error);
+  EXPECT_THROW(parse({"--iters="}), std::runtime_error);
+  EXPECT_THROW(parse({"--iters=1e3"}), std::runtime_error);
+  EXPECT_THROW(parse({"--iters=seven"}), std::runtime_error);
+}
+
+TEST(Cli, ErrorMessagesNameTheFlag) {
+  try {
+    parse({"--episodes=abc"});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--episodes"), std::string::npos);
+  }
+}
+
+TEST(Cli, ParsesJsonPath) {
+  const CliOptions opt = parse({"--json=/tmp/out.json"});
+  EXPECT_EQ(opt.json_path, "/tmp/out.json");
+  EXPECT_THROW(parse({"--json="}), std::runtime_error);
+}
+
 TEST(PaperCpuCounts, MatchesPaperAxes) {
   EXPECT_EQ(paper_cpu_counts(4),
             (std::vector<std::uint32_t>{4, 8, 16, 32, 64, 128, 256}));
@@ -70,6 +114,74 @@ TEST(Runner, LockResultIsConsistent) {
   const LockResult r = run_lock(cfg, params);
   EXPECT_GT(r.total_cycles, 0.0);
   EXPECT_DOUBLE_EQ(r.cycles_per_acquire, r.total_cycles / (8.0 * 3.0));
+}
+
+TEST(Reporter, InactiveWithoutJsonPath) {
+  CliOptions opt;  // no --json
+  JsonReporter rep(opt, "unit");
+  EXPECT_FALSE(rep.active());
+  EXPECT_EQ(JsonReporter::current(), &rep);
+  sim::Json rec = sim::Json::object();
+  rec["x"] = 1;
+  rep.add(std::move(rec));
+  EXPECT_EQ(rep.records().size(), 0u);  // inactive: records are dropped
+}
+
+TEST(Reporter, RunBarrierFeedsRecordsWithRegistryDump) {
+  CliOptions opt;
+  opt.json_path = ::testing::TempDir() + "harness_reporter_test.json";
+  {
+    JsonReporter rep(opt, "unit_barrier");
+    core::SystemConfig cfg;
+    cfg.num_cpus = 8;
+    BarrierParams params;
+    params.mech = sync::Mechanism::kAmo;
+    params.episodes = 2;
+    (void)run_barrier(cfg, params);
+
+    ASSERT_EQ(rep.records().size(), 1u);
+    const sim::Json& rec = rep.records()[0];
+    EXPECT_EQ(rec.at("workload").as_string(), "barrier");
+    EXPECT_EQ(rec.at("cpus").as_uint(), 8u);
+    EXPECT_EQ(rec.at("mechanism").as_string(), "AMO");
+    EXPECT_GT(rec.at("cycles_per_barrier").as_double(), 0.0);
+    EXPECT_GT(rec.at("traffic").at("packets").as_uint(), 0u);
+    // The registry dump reaches down to per-node AMU counters.
+    const sim::Json* amo_ops = rec.at("registry").find_path("node0.amu.ops");
+    ASSERT_NE(amo_ops, nullptr);
+    EXPECT_GT(amo_ops->as_uint(), 0u);
+    EXPECT_NE(rec.at("registry").find_path("net.packets"), nullptr);
+    EXPECT_NE(rec.at("registry").find_path("cpu0.cache.l2.hits"), nullptr);
+  }
+  // Destructor wrote the document; it must parse and carry the record.
+  std::ifstream in(opt.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const sim::Json doc = sim::Json::parse(ss.str());
+  EXPECT_EQ(doc.at("bench").as_string(), "unit_barrier");
+  EXPECT_EQ(doc.at("schema_version").as_uint(), 1u);
+  EXPECT_EQ(doc.at("records").size(), 1u);
+  std::remove(opt.json_path.c_str());
+}
+
+TEST(Reporter, RunLockFeedsRecords) {
+  CliOptions opt;
+  opt.json_path = ::testing::TempDir() + "harness_lock_test.json";
+  {
+    JsonReporter rep(opt, "unit_lock");
+    core::SystemConfig cfg;
+    cfg.num_cpus = 4;
+    LockParams params;
+    params.iters = 2;
+    (void)run_lock(cfg, params);
+    ASSERT_EQ(rep.records().size(), 1u);
+    const sim::Json& rec = rep.records()[0];
+    EXPECT_EQ(rec.at("workload").as_string(), "lock");
+    EXPECT_EQ(rec.at("lock").as_string(), "ticket");
+    EXPECT_GT(rec.at("total_cycles").as_double(), 0.0);
+  }
+  std::remove(opt.json_path.c_str());
 }
 
 TEST(Runner, DeterministicAcrossCalls) {

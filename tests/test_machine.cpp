@@ -186,5 +186,49 @@ TEST(Machine, SingleNodeMachineWorks) {
   EXPECT_GT(m.stats().local.messages, 0u);
 }
 
+TEST(Machine, RegistryIndexesEverySubsystem) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 4;  // two nodes
+  core::Machine m(cfg);
+  const sim::Addr a = m.galloc().alloc_word_line(1);
+  for (sim::CpuId c = 0; c < 4; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await t.amo_fetch_add(a, 1);
+    });
+  }
+  m.run();
+
+  // The registry view must agree with the aggregated MachineStats.
+  const core::MachineStats s = m.stats();
+  const sim::Json snap = m.stats_json();
+  EXPECT_EQ(snap.find_path("net.packets")->as_uint(), s.net.packets);
+  EXPECT_EQ(snap.find_path("net.bytes")->as_uint(), s.net.bytes);
+  EXPECT_EQ(snap.find_path("local.messages")->as_uint(), s.local.messages);
+  EXPECT_EQ(snap.find_path("engine.events_executed")->as_uint(), s.events);
+  EXPECT_EQ(snap.find_path("engine.now")->as_uint(), s.cycles);
+
+  std::uint64_t amu_ops = 0;
+  std::uint64_t dir_word_gets = 0;
+  std::uint64_t l2_hits = 0;
+  for (std::uint32_t n = 0; n < m.num_nodes(); ++n) {
+    const std::string p = "node" + std::to_string(n);
+    amu_ops += snap.find_path(p + ".amu.ops")->as_uint();
+    dir_word_gets += snap.find_path(p + ".dir.word_gets")->as_uint();
+  }
+  for (std::uint32_t c = 0; c < m.num_cpus(); ++c) {
+    const std::string p = "cpu" + std::to_string(c) + ".cache.l2.hits";
+    l2_hits += snap.find_path(p)->as_uint();
+  }
+  EXPECT_EQ(amu_ops, s.amu.ops);
+  EXPECT_GT(amu_ops, 0u);
+  EXPECT_EQ(dir_word_gets, s.dir.word_gets);
+  EXPECT_EQ(l2_hits, s.l2.hits);
+
+  // Per-entry lookup works through the registry, too.
+  EXPECT_EQ(m.registry().value("node0.amu.ops").as_uint() +
+                m.registry().value("node1.amu.ops").as_uint(),
+            s.amu.ops);
+}
+
 }  // namespace
 }  // namespace amo

@@ -83,6 +83,57 @@ TEST(Engine, RunRespectsDeadline) {
   EXPECT_TRUE(e.idle());
 }
 
+// Regression: an event scheduled in the past must not rewind the clock.
+// Before the fix, schedule_at(10) from an event at t=100 made run() set
+// now_ back to 10, breaking monotonicity and downstream FIFO assumptions.
+TEST(Engine, ScheduleAtInThePastClampsToNow) {
+  Engine e;
+  std::vector<Cycle> seen;
+  e.schedule(100, [&] {
+    e.schedule_at(10, [&] { seen.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 100u);  // ran at the current time, not in the past
+  EXPECT_EQ(e.now(), 100u);  // clock never rewound
+}
+
+TEST(Engine, ClockIsMonotonicAcrossMixedScheduling) {
+  Engine e;
+  std::vector<Cycle> times;
+  auto mark = [&] { times.push_back(e.now()); };
+  e.schedule(50, [&, mark] {
+    mark();
+    e.schedule_at(20, mark);  // past: clamped
+    e.schedule_at(70, mark);  // future: honored
+    e.schedule(5, mark);
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 4u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+  EXPECT_EQ(times.back(), 70u);
+}
+
+// Same-cycle events must pop in push order even when the pushes mix
+// schedule() and schedule_at() — including a clamped-from-the-past
+// schedule_at, which takes its FIFO slot at clamp time.
+TEST(Engine, FifoAcrossInterleavedScheduleAndScheduleAt) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(10, [&] {
+    e.schedule(0, [&] { order.push_back(0); });
+    e.schedule_at(10, [&] { order.push_back(1); });
+    e.schedule(0, [&] { order.push_back(2); });
+    e.schedule_at(3, [&] { order.push_back(3); });  // past, clamps to 10
+    e.schedule(0, [&] { order.push_back(4); });
+    e.schedule_at(10, [&] { order.push_back(5); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
 TEST(Engine, StepProcessesOneEvent) {
   Engine e;
   int fired = 0;
@@ -294,6 +345,84 @@ TEST(Accum, MergeCombines) {
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.min(), 5u);
   EXPECT_EQ(a.max(), 15u);
+}
+
+// Regression: merging must be empty-safe in every combination — an empty
+// side must not clobber min/max/mean state of the other.
+TEST(Accum, MergeEmptyIntoEmpty) {
+  Accum a;
+  Accum b;
+  a += b;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  a.add(4);  // still usable after the no-op merge
+  EXPECT_EQ(a.min(), 4u);
+  EXPECT_EQ(a.max(), 4u);
+}
+
+TEST(Accum, MergeNonEmptyIntoEmpty) {
+  Accum a;
+  Accum b;
+  b.add(10);
+  b.add(30);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 40u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 100.0);
+}
+
+TEST(Accum, MergeEmptyIntoNonEmpty) {
+  Accum a;
+  Accum b;
+  a.add(10);
+  a.add(30);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 100.0);
+}
+
+TEST(Accum, WelfordVarianceMatchesClosedForm) {
+  // Classic example: population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+  Accum a;
+  for (std::uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+}
+
+TEST(Accum, MergedVarianceEqualsSingleStream) {
+  Accum whole;
+  Accum left;
+  Accum right;
+  const std::uint64_t xs[] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+  for (std::size_t i = 0; i < std::size(xs); ++i) {
+    whole.add(xs[i]);
+    (i < 5 ? left : right).add(xs[i]);
+  }
+  left += right;
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.sum(), whole.sum());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Accum, SingleSampleHasZeroVariance) {
+  Accum a;
+  a.add(42);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.0);
 }
 
 }  // namespace
