@@ -5,6 +5,7 @@
 // contended by a disjoint group of processors. While K <= cache words,
 // every AMO hits the AMU cache; beyond that the AMU thrashes (evictions
 // force word puts + re-gets through the directory).
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -17,8 +18,41 @@ int main(int argc, char** argv) {
   bench::JsonReporter reporter(opt, "ablation_amu_cache");
   const std::uint32_t cpus = opt.cpus.empty() ? 32 : opt.cpus.front();
   const int iters = opt.iters > 0 ? opt.iters : 6;
-  const std::uint32_t lock_counts[] = {1, 2, 4, 8, 16};
-  const std::uint32_t cache_words[] = {2, 4, 8, 16, 32};
+  const std::array<std::uint32_t, 5> lock_counts = {1, 2, 4, 8, 16};
+  const std::array<std::uint32_t, 5> cache_words = {2, 4, 8, 16, 32};
+
+  std::vector<std::array<std::uint64_t, 5>> cells(lock_counts.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < lock_counts.size(); ++i) {
+    for (std::size_t j = 0; j < cache_words.size(); ++j) {
+      sweep.add([&, i, j] {
+        const std::uint32_t nlocks = lock_counts[i];
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus;
+        cfg.amu.cache_words = cache_words[j];
+        core::Machine m(cfg);
+        // Each lock needs TWO AMU-resident words (sequencer + now_serving).
+        std::vector<std::unique_ptr<sync::Lock>> locks;
+        for (std::uint32_t l = 0; l < nlocks; ++l) {
+          locks.push_back(sync::make_ticket_lock(m, sync::Mechanism::kAmo));
+        }
+        for (sim::CpuId c = 0; c < cpus; ++c) {
+          sync::Lock& lock = *locks[c % nlocks];
+          m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
+            for (int it = 0; it < iters; ++it) {
+              co_await lock.acquire(t);
+              co_await t.compute(50);
+              co_await lock.release(t);
+              co_await t.compute(t.rng().below(200));
+            }
+          });
+        }
+        m.run();
+        cells[i][j] = m.engine().now();
+      });
+    }
+  }
+  sweep.run();
 
   std::printf("\n== Ablation: AMU cache size (P=%u, AMO ticket locks) ==\n",
               cpus);
@@ -27,36 +61,12 @@ int main(int argc, char** argv) {
   std::printf("%-8s", "locks");
   for (std::uint32_t w : cache_words) std::printf(" %10uw", w);
   std::printf("\n");
-
-  for (std::uint32_t nlocks : lock_counts) {
-    std::printf("%-8u", nlocks);
-    for (std::uint32_t words : cache_words) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = cpus;
-      cfg.amu.cache_words = words;
-      core::Machine m(cfg);
-      // Each lock needs TWO AMU-resident words (sequencer + now_serving).
-      std::vector<std::unique_ptr<sync::Lock>> locks;
-      for (std::uint32_t l = 0; l < nlocks; ++l) {
-        locks.push_back(sync::make_ticket_lock(m, sync::Mechanism::kAmo));
-      }
-      for (sim::CpuId c = 0; c < cpus; ++c) {
-        sync::Lock& lock = *locks[c % nlocks];
-        m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
-          for (int i = 0; i < iters; ++i) {
-            co_await lock.acquire(t);
-            co_await t.compute(50);
-            co_await lock.release(t);
-            co_await t.compute(t.rng().below(200));
-          }
-        });
-      }
-      m.run();
-      std::printf(" %11llu",
-                  static_cast<unsigned long long>(m.engine().now()));
+  for (std::size_t i = 0; i < lock_counts.size(); ++i) {
+    std::printf("%-8u", lock_counts[i]);
+    for (std::uint64_t v : cells[i]) {
+      std::printf(" %11llu", static_cast<unsigned long long>(v));
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf("\nexpected shape: cells worsen sharply once 2*locks exceeds "
               "the AMU cache words (sequencer + counter per lock).\n");

@@ -2,6 +2,7 @@
 // Mellor-Crummey & Scott discussion). Uncached spinning floods the home
 // memory controller; proportional backoff removes most of that pressure
 // at the cost of handoff-discovery latency.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -15,35 +16,42 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{8, 32, 128} : opt.cpus;
   const int iters = opt.iters > 0 ? opt.iters : 6;
 
+  std::vector<std::array<double, 2>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (int b = 0; b < 2; ++b) {
+      sweep.add([&, i, b] {
+        const std::uint32_t p = cpus[i];
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = p;
+        core::Machine m(cfg);
+        sync::TicketLockConfig lcfg;
+        lcfg.backoff = b == 0 ? sync::TicketBackoff::kNone
+                              : sync::TicketBackoff::kProportional;
+        auto lock = sync::make_ticket_lock(m, sync::Mechanism::kMao, lcfg);
+        for (sim::CpuId c = 0; c < p; ++c) {
+          m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
+            for (int i2 = 0; i2 < iters; ++i2) {
+              co_await lock->acquire(t);
+              co_await t.compute(50);
+              co_await lock->release(t);
+              co_await t.compute(t.rng().below(200));
+            }
+          });
+        }
+        m.run();
+        cells[i][b] = static_cast<double>(m.engine().now());
+      });
+    }
+  }
+  sweep.run();
+
   std::printf("\n== Ablation: MAO ticket-lock backoff ==\n");
   std::printf("%-6s %16s %16s %10s\n", "CPUs", "none(cyc)",
               "proportional(cyc)", "gain");
-  for (std::uint32_t p : cpus) {
-    double res[2] = {0, 0};
-    for (int b = 0; b < 2; ++b) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = p;
-      core::Machine m(cfg);
-      sync::TicketLockConfig lcfg;
-      lcfg.backoff = b == 0 ? sync::TicketBackoff::kNone
-                            : sync::TicketBackoff::kProportional;
-      auto lock = sync::make_ticket_lock(m, sync::Mechanism::kMao, lcfg);
-      for (sim::CpuId c = 0; c < p; ++c) {
-        m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
-          for (int i = 0; i < iters; ++i) {
-            co_await lock->acquire(t);
-            co_await t.compute(50);
-            co_await lock->release(t);
-            co_await t.compute(t.rng().below(200));
-          }
-        });
-      }
-      m.run();
-      res[b] = static_cast<double>(m.engine().now());
-    }
-    std::printf("%-6u %16.0f %16.0f %9.2fx\n", p, res[0], res[1],
-                res[0] / res[1]);
-    std::fflush(stdout);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("%-6u %16.0f %16.0f %9.2fx\n", cpus[i], cells[i][0],
+                cells[i][1], cells[i][0] / cells[i][1]);
   }
   std::printf("\nexpected shape: backoff helps increasingly with P (less "
               "MC flooding), unlike on cache-coherent spinning where the "

@@ -3,6 +3,7 @@
 // dissemination barrier, per mechanism. Nikolopoulos & Papatheodorou
 // report ~25% for optimized-vs-naive at 64 processors on ccNUMA; the AMO
 // column shows naive == efficient, the paper's programming-model claim.
+#include <array>
 #include <cstdio>
 #include <memory>
 
@@ -13,9 +14,9 @@ namespace {
 
 using namespace amo;
 
-double run_style(std::uint32_t cpus, sync::Mechanism mech, int style,
-                 int episodes) {
-  core::SystemConfig cfg;
+double run_style(const bench::CliOptions& opt, std::uint32_t cpus,
+                 sync::Mechanism mech, int style, int episodes) {
+  core::SystemConfig cfg = bench::base_config(opt);
   cfg.num_cpus = cpus;
   core::Machine m(cfg);
   std::unique_ptr<sync::Barrier> barrier;
@@ -50,21 +51,35 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64} : opt.cpus;
   const int episodes = opt.episodes > 0 ? opt.episodes : 8;
 
-  std::printf("\n== Ablation: barrier codings (cycles per episode) ==\n");
-  for (std::uint32_t p : cpus) {
-    std::printf("\nP = %u\n%-10s %12s %12s %12s %12s\n", p, "style",
-                "LL/SC", "Atomic", "MAO", "AMO");
-    const sync::Mechanism mechs[] = {
-        sync::Mechanism::kLlSc, sync::Mechanism::kAtomic,
-        sync::Mechanism::kMao, sync::Mechanism::kAmo};
-    const char* styles[] = {"naive", "optimized", "dissem", "mcs-tree"};
-    for (int s = 0; s < 4; ++s) {
-      std::printf("%-10s", styles[s]);
-      for (sync::Mechanism m : mechs) {
-        std::printf(" %12.0f", run_style(p, m, s, episodes));
+  const std::array<sync::Mechanism, 4> mechs = {
+      sync::Mechanism::kLlSc, sync::Mechanism::kAtomic, sync::Mechanism::kMao,
+      sync::Mechanism::kAmo};
+  const std::array<const char*, 4> styles = {"naive", "optimized", "dissem",
+                                             "mcs-tree"};
+
+  // cells[p index][style][mechanism]
+  std::vector<std::array<std::array<double, 4>, 4>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t s = 0; s < styles.size(); ++s) {
+      for (std::size_t j = 0; j < mechs.size(); ++j) {
+        sweep.add([&, i, s, j] {
+          cells[i][s][j] = run_style(opt, cpus[i], mechs[j],
+                                     static_cast<int>(s), episodes);
+        });
       }
+    }
+  }
+  sweep.run();
+
+  std::printf("\n== Ablation: barrier codings (cycles per episode) ==\n");
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("\nP = %u\n%-10s %12s %12s %12s %12s\n", cpus[i], "style",
+                "LL/SC", "Atomic", "MAO", "AMO");
+    for (std::size_t s = 0; s < styles.size(); ++s) {
+      std::printf("%-10s", styles[s]);
+      for (double v : cells[i][s]) std::printf(" %12.0f", v);
       std::printf("\n");
-      std::fflush(stdout);
     }
   }
   std::printf(

@@ -8,6 +8,7 @@
 // for SPARSELY shared variables: here, pairwise producer/consumer flags
 // (2 true sharers each) on machines of growing size — a coarse entry
 // turns every eager put into a machine-wide broadcast.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -21,8 +22,9 @@ struct Result {
   std::uint64_t update_msgs = 0;
 };
 
-Result run(std::uint32_t cpus, std::uint32_t pointers, int rounds) {
-  core::SystemConfig cfg;
+Result run(const bench::CliOptions& opt, std::uint32_t cpus,
+           std::uint32_t pointers, int rounds) {
+  core::SystemConfig cfg = bench::base_config(opt);
   cfg.num_cpus = cpus;
   cfg.dir.sharer_pointer_limit = pointers;
   core::Machine m(cfg);
@@ -73,21 +75,30 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 128} : opt.cpus;
   const int rounds = opt.iters > 0 ? opt.iters : 10;
-  const std::uint32_t limits[] = {0, 8, 1};
+  const std::array<std::uint32_t, 3> limits = {0, 8, 1};
+
+  std::vector<std::array<Result, 3>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < limits.size(); ++j) {
+      sweep.add([&, i, j] {
+        cells[i][j] = run(opt, cpus[i], limits[j], rounds);
+      });
+    }
+  }
+  sweep.run();
 
   std::printf("\n== Ablation: directory pointer capacity "
               "(pairwise AMO signalling, cycles | update msgs) ==\n");
   std::printf("%-6s %18s %18s %18s\n", "CPUs", "full", "8 pointers",
               "1 pointer");
-  for (std::uint32_t p : cpus) {
-    std::printf("%-6u", p);
-    for (std::uint32_t lim : limits) {
-      const Result r = run(p, lim, rounds);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("%-6u", cpus[i]);
+    for (const Result& r : cells[i]) {
       std::printf(" %11.0f|%5llu", r.cycles,
                   static_cast<unsigned long long>(r.update_msgs));
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf(
       "\nexpected shape: with sparse sharing, a small pointer budget "

@@ -1,6 +1,7 @@
 // Ablation: network hop latency (the paper's motivation — "network
 // latency approaches thousands of processor cycles"). As hops get slower,
 // AMO's advantage over ownership-migration synchronization grows.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -10,24 +11,36 @@ int main(int argc, char** argv) {
   bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
   bench::JsonReporter reporter(opt, "ablation_hop_latency");
   const std::uint32_t p = opt.cpus.empty() ? 64 : opt.cpus.front();
-  const sim::Cycle hops[] = {25, 50, 100, 200, 400};
+  const std::array<sim::Cycle, 5> hops = {25, 50, 100, 200, 400};
+  const std::array<sync::Mechanism, 2> mechs = {sync::Mechanism::kLlSc,
+                                                sync::Mechanism::kAmo};
+
+  std::vector<std::array<double, 2>> cells(hops.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = p;
+        cfg.net.hop_cycles = hops[i];
+        bench::BarrierParams params;
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        params.mech = mechs[j];
+        cells[i][j] = bench::run_barrier(cfg, params).cycles_per_barrier;
+      });
+    }
+  }
+  sweep.run();
 
   std::printf("\n== Ablation: hop latency (P=%u central barriers) ==\n", p);
   std::printf("%-10s %14s %14s %10s\n", "hop(cyc)", "LL/SC(cyc)", "AMO(cyc)",
               "speedup");
-  for (sim::Cycle h : hops) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    cfg.net.hop_cycles = h;
-    bench::BarrierParams params;
-    if (opt.episodes > 0) params.episodes = opt.episodes;
-    params.mech = sync::Mechanism::kLlSc;
-    const double base = bench::run_barrier(cfg, params).cycles_per_barrier;
-    params.mech = sync::Mechanism::kAmo;
-    const double amo = bench::run_barrier(cfg, params).cycles_per_barrier;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const double base = cells[i][0];
+    const double amo = cells[i][1];
     std::printf("%-10llu %14.0f %14.0f %9.2fx\n",
-                static_cast<unsigned long long>(h), base, amo, base / amo);
-    std::fflush(stdout);
+                static_cast<unsigned long long>(hops[i]), base, amo,
+                base / amo);
   }
   std::printf("\nexpected shape: AMO speedup grows with hop latency.\n");
   return 0;

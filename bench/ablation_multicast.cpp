@@ -2,6 +2,7 @@
 // "AMO performance would be even higher if the network supported such
 // operations"). With multicast, shared fat-tree links carry a single copy
 // of the update instead of one per destination node.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -14,23 +15,29 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 256} : opt.cpus;
   if (opt.quick) cpus = {16, 32};
 
+  std::vector<std::array<double, 2>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (int mc = 0; mc < 2; ++mc) {
+      sweep.add([&, i, mc] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        cfg.net.hardware_multicast = (mc == 1);
+        bench::BarrierParams params;
+        params.mech = sync::Mechanism::kAmo;
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        cells[i][mc] = bench::run_barrier(cfg, params).cycles_per_barrier;
+      });
+    }
+  }
+  sweep.run();
+
   std::printf("\n== Ablation: hardware multicast for AMO updates ==\n");
   std::printf("%-6s %14s %14s %10s\n", "CPUs", "unicast(cyc)",
               "multicast(cyc)", "gain");
-  for (std::uint32_t p : cpus) {
-    double res[2] = {0, 0};
-    for (int mc = 0; mc < 2; ++mc) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = p;
-      cfg.net.hardware_multicast = (mc == 1);
-      bench::BarrierParams params;
-      params.mech = sync::Mechanism::kAmo;
-      if (opt.episodes > 0) params.episodes = opt.episodes;
-      res[mc] = bench::run_barrier(cfg, params).cycles_per_barrier;
-    }
-    std::printf("%-6u %14.0f %14.0f %9.2fx\n", p, res[0], res[1],
-                res[0] / res[1]);
-    std::fflush(stdout);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("%-6u %14.0f %14.0f %9.2fx\n", cpus[i], cells[i][0],
+                cells[i][1], cells[i][0] / cells[i][1]);
   }
   std::printf("\nexpected shape: gain grows with P (the serialized update "
               "injection is the AMO barrier's only O(P) term).\n");

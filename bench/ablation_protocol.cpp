@@ -2,6 +2,7 @@
 // protocol. The paper's UVSIM models the SGI SN2 3-hop protocol; our
 // default is the simpler blocking home-centric variant. This bench
 // quantifies how much that substitution matters for the headline numbers.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -14,26 +15,40 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 256} : opt.cpus;
   if (opt.quick) cpus = {16, 32};
 
+  // Per row: {llsc/4hop, amo/4hop, llsc/3hop, amo/3hop} in serial JSON
+  // record order (mode-major, mechanism-minor).
+  const std::array<sync::Mechanism, 2> mechs = {sync::Mechanism::kLlSc,
+                                                sync::Mechanism::kAmo};
+  std::vector<std::array<double, 4>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (int mode = 0; mode < 2; ++mode) {
+      for (std::size_t j = 0; j < mechs.size(); ++j) {
+        sweep.add([&, i, mode, j] {
+          core::SystemConfig cfg = bench::base_config(opt);
+          cfg.num_cpus = cpus[i];
+          cfg.dir.three_hop = (mode == 1);
+          bench::BarrierParams params;
+          if (opt.episodes > 0) params.episodes = opt.episodes;
+          params.mech = mechs[j];
+          cells[i][static_cast<std::size_t>(mode) * 2 + j] =
+              bench::run_barrier(cfg, params).cycles_per_barrier;
+        });
+      }
+    }
+  }
+  sweep.run();
+
   std::printf("\n== Ablation: 4-hop vs 3-hop protocol (central barriers) ==\n");
   std::printf("%-6s %12s %12s %12s %12s %10s\n", "CPUs", "LLSC/4hop",
               "LLSC/3hop", "AMO/4hop", "AMO/3hop", "AMO spd 3h");
-  for (std::uint32_t p : cpus) {
-    double llsc[2] = {0, 0};
-    double amo[2] = {0, 0};
-    for (int mode = 0; mode < 2; ++mode) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = p;
-      cfg.dir.three_hop = (mode == 1);
-      bench::BarrierParams params;
-      if (opt.episodes > 0) params.episodes = opt.episodes;
-      params.mech = sync::Mechanism::kLlSc;
-      llsc[mode] = bench::run_barrier(cfg, params).cycles_per_barrier;
-      params.mech = sync::Mechanism::kAmo;
-      amo[mode] = bench::run_barrier(cfg, params).cycles_per_barrier;
-    }
-    std::printf("%-6u %12.0f %12.0f %12.0f %12.0f %9.2fx\n", p, llsc[0],
-                llsc[1], amo[0], amo[1], llsc[1] / amo[1]);
-    std::fflush(stdout);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const double llsc4 = cells[i][0];
+    const double amo4 = cells[i][1];
+    const double llsc3 = cells[i][2];
+    const double amo3 = cells[i][3];
+    std::printf("%-6u %12.0f %12.0f %12.0f %12.0f %9.2fx\n", cpus[i], llsc4,
+                llsc3, amo4, amo3, llsc3 / amo3);
   }
   std::printf(
       "\nexpected shape: AMO numbers are insensitive to the protocol "

@@ -1,6 +1,7 @@
 // Ablation: tree branching factor (§4.2.2 — "The best branching factor
 // for a given system is often not intuitive"; Markatos et al. showed a
 // bad tree can be worse than a centralized barrier).
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -11,29 +12,41 @@ int main(int argc, char** argv) {
   bench::JsonReporter reporter(opt, "ablation_tree_fanout");
   const std::uint32_t p = opt.cpus.empty() ? 64 : opt.cpus.front();
 
-  const sync::Mechanism mechs[] = {sync::Mechanism::kLlSc,
-                                   sync::Mechanism::kAtomic,
-                                   sync::Mechanism::kAmo};
+  const std::array<sync::Mechanism, 3> mechs = {sync::Mechanism::kLlSc,
+                                                sync::Mechanism::kAtomic,
+                                                sync::Mechanism::kAmo};
+
+  // fanout == p degenerates to a central barrier through the tree code.
+  std::vector<std::uint32_t> fanouts;
+  for (std::uint32_t fanout = 2; fanout <= p; fanout *= 2) {
+    fanouts.push_back(fanout);
+  }
+
+  std::vector<std::array<double, 3>> cells(fanouts.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = p;
+        bench::BarrierParams params;
+        params.mech = mechs[j];
+        params.kind = bench::BarrierKind::kTree;
+        params.fanout = fanouts[i];
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        cells[i][j] = bench::run_barrier(cfg, params).cycles_per_barrier;
+      });
+    }
+  }
+  sweep.run();
 
   std::printf("\n== Ablation: tree fanout (P=%u, cycles per barrier) ==\n",
               p);
   std::printf("%-8s %12s %12s %12s\n", "fanout", "LL/SC", "Atomic", "AMO");
-  // fanout == p degenerates to a central barrier through the tree code.
-  for (std::uint32_t fanout = 2; fanout <= p; fanout *= 2) {
-    std::printf("%-8u", fanout);
-    for (sync::Mechanism m : mechs) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = p;
-      bench::BarrierParams params;
-      params.mech = m;
-      params.kind = bench::BarrierKind::kTree;
-      params.fanout = fanout;
-      if (opt.episodes > 0) params.episodes = opt.episodes;
-      std::printf(" %12.0f",
-                  bench::run_barrier(cfg, params).cycles_per_barrier);
-    }
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    std::printf("%-8u", fanouts[i]);
+    for (double v : cells[i]) std::printf(" %12.0f", v);
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf(
       "\nexpected shape: conventional mechanisms have a non-trivial "

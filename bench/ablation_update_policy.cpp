@@ -6,6 +6,7 @@
 //   block    eager + block-sized update packets (a stand-in for the
 //            write-update protocol the paper dismisses as generating
 //            "enormous amounts of network traffic")
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -28,31 +29,40 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{16, 64, 256} : opt.cpus;
   if (opt.quick) cpus = {16, 32};
 
-  const Policy policies[] = {{"delayed", false, false},
-                             {"eager", true, false},
-                             {"block-update", true, true}};
+  const std::array<Policy, 3> policies = {Policy{"delayed", false, false},
+                                          Policy{"eager", true, false},
+                                          Policy{"block-update", true, true}};
+
+  const int episodes = opt.episodes > 0 ? opt.episodes : 8;
+  std::vector<std::array<bench::BarrierResult, 3>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < policies.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        cfg.amu.eager_put_all = policies[j].eager;
+        cfg.dir.put_block_granularity = policies[j].block;
+        bench::BarrierParams params;
+        params.mech = sync::Mechanism::kAmo;
+        params.episodes = episodes;
+        cells[i][j] = bench::run_barrier(cfg, params);
+      });
+    }
+  }
+  sweep.run();
 
   std::printf(
       "\n== Ablation: AMO update policy (barrier cycles | net KB/episode) "
       "==\n%-6s %16s %16s %16s\n",
       "CPUs", "delayed", "eager", "block-update");
-  for (std::uint32_t p : cpus) {
-    std::printf("%-6u", p);
-    for (const Policy& pol : policies) {
-      core::SystemConfig cfg;
-      cfg.num_cpus = p;
-      cfg.amu.eager_put_all = pol.eager;
-      cfg.dir.put_block_granularity = pol.block;
-      bench::BarrierParams params;
-      params.mech = sync::Mechanism::kAmo;
-      if (opt.episodes > 0) params.episodes = opt.episodes;
-      const bench::BarrierResult r = bench::run_barrier(cfg, params);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("%-6u", cpus[i]);
+    for (const bench::BarrierResult& r : cells[i]) {
       std::printf(" %9.0f|%5.1fKB", r.cycles_per_barrier,
-                  static_cast<double>(r.traffic.bytes) / 1024.0 /
-                      params.episodes);
+                  static_cast<double>(r.traffic.bytes) / 1024.0 / episodes);
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf(
       "\nexpected shape: delayed put is fastest with the least traffic; "

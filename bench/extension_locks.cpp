@@ -3,6 +3,7 @@
 // The paper's thesis generalizes: AMOs lift even the *simplest* algorithm
 // to queue-lock performance; the MCS column shows the best software
 // algorithm still pays ownership-migration costs AMOs avoid.
+#include <array>
 #include <cstdio>
 #include <memory>
 
@@ -13,9 +14,9 @@ namespace {
 
 using namespace amo;
 
-double run_lock_kind(std::uint32_t cpus, sync::Mechanism mech,
-                     const char* kind, int iters) {
-  core::SystemConfig cfg;
+double run_lock_kind(const bench::CliOptions& opt, std::uint32_t cpus,
+                     sync::Mechanism mech, const char* kind, int iters) {
+  core::SystemConfig cfg = bench::base_config(opt);
   cfg.num_cpus = cpus;
   core::Machine m(cfg);
   std::unique_ptr<sync::Lock> lock;
@@ -65,23 +66,37 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> cpus =
       opt.cpus.empty() ? std::vector<std::uint32_t>{8, 32, 128} : opt.cpus;
   const int iters = opt.iters > 0 ? opt.iters : 5;
-  const char* kinds[] = {"tas", "ticket", "array", "mcs"};
+  const std::array<const char*, 4> kinds = {"tas", "ticket", "array", "mcs"};
+  constexpr std::size_t kMechs = std::size(sync::kAllMechanisms);
+
+  // cells[p index][kind][mechanism]
+  std::vector<std::array<std::array<double, kMechs>, 4>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      for (std::size_t j = 0; j < kMechs; ++j) {
+        sweep.add([&, i, k, j] {
+          cells[i][k][j] = run_lock_kind(opt, cpus[i],
+                                         sync::kAllMechanisms[j], kinds[k],
+                                         iters);
+        });
+      }
+    }
+  }
+  sweep.run();
 
   std::printf("\n== Extension: lock algorithms x mechanisms "
               "(total cycles, lower is better) ==\n");
-  for (std::uint32_t p : cpus) {
-    std::printf("\nP = %u\n%-8s", p, "algo");
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("\nP = %u\n%-8s", cpus[i], "algo");
     for (sync::Mechanism m : sync::kAllMechanisms) {
       std::printf(" %12s", sync::to_string(m));
     }
     std::printf("\n");
-    for (const char* kind : kinds) {
-      std::printf("%-8s", kind);
-      for (sync::Mechanism m : sync::kAllMechanisms) {
-        std::printf(" %12.0f", run_lock_kind(p, m, kind, iters));
-      }
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::printf("%-8s", kinds[k]);
+      for (double v : cells[i][k]) std::printf(" %12.0f", v);
       std::printf("\n");
-      std::fflush(stdout);
     }
   }
   std::printf("\nexpected shape: within a mechanism, mcs/array beat "

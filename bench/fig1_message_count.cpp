@@ -21,8 +21,8 @@ struct Result {
 
 // One barrier episode, hand-rolled Fig. 3-style so the variable placement
 // matches the paper's picture.
-Result run(sync::Mechanism mech) {
-  core::SystemConfig cfg;
+Result run(const bench::CliOptions& opt, sync::Mechanism mech) {
+  core::SystemConfig cfg = bench::base_config(opt);
   cfg.num_cpus = 4;
   cfg.cpus_per_node = 1;      // one processor per node, like the figure
   cfg.barrier_sw_overhead = 0;  // count protocol messages only
@@ -66,14 +66,22 @@ Result run(sync::Mechanism mech) {
 int main(int argc, char** argv) {
   bench::CliOptions opt = bench::parse_cli_or_exit(argc, argv);
   bench::JsonReporter reporter(opt, "fig1_message_count");
+
+  std::vector<Result> results(std::size(sync::kAllMechanisms));
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    sweep.add([&, i] { results[i] = run(opt, sync::kAllMechanisms[i]); });
+  }
+  sweep.run();
+
   std::printf("Figure 1: one 3-processor barrier episode, variable homed "
               "on a 4th node\n\n");
   std::printf("%-8s %16s %12s\n", "mech", "one-way msgs", "cycles");
-  for (sync::Mechanism mech : sync::kAllMechanisms) {
-    const Result r = run(mech);
-    std::printf("%-8s %16llu %12llu\n", sync::to_string(mech),
-                static_cast<unsigned long long>(r.packets),
-                static_cast<unsigned long long>(r.cycles));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-8s %16llu %12llu\n",
+                sync::to_string(sync::kAllMechanisms[i]),
+                static_cast<unsigned long long>(results[i].packets),
+                static_cast<unsigned long long>(results[i].cycles));
   }
   std::printf(
       "\npaper: conventional atomics need 18 one-way messages before all "

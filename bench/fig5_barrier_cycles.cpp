@@ -3,6 +3,7 @@
 //   * LL/SC grows superlinearly in total time (per-proc time rises with P)
 //   * AMO per-processor latency is flat/slightly falling with P
 //     (t = t_o + t_p * P, so t/P -> t_p from above)
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -15,23 +16,30 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
   if (opt.quick) cpus = {4, 8, 16, 32};
 
-  const sync::Mechanism mechs[] = {
+  const std::array<sync::Mechanism, 5> mechs = {
       sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
       sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
 
+  std::vector<std::array<double, 5>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        bench::BarrierParams params;
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        params.mech = mechs[j];
+        cells[i][j] = bench::run_barrier(cfg, params).cycles_per_proc;
+      });
+    }
+  }
+  sweep.run();
+
   bench::print_header("Figure 5: barrier cycles-per-processor", "CPUs",
                       {"LL/SC", "ActMsg", "Atomic", "MAO", "AMO"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::BarrierParams params;
-    if (opt.episodes > 0) params.episodes = opt.episodes;
-    std::vector<double> row;
-    for (sync::Mechanism m : mechs) {
-      params.mech = m;
-      row.push_back(bench::run_barrier(cfg, params).cycles_per_proc);
-    }
-    bench::print_row(p, row, 1);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    bench::print_row(cpus[i], {cells[i].begin(), cells[i].end()}, 1);
   }
   std::printf(
       "\nexpected shape: LL/SC per-proc time rises with P (superlinear "

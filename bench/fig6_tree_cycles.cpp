@@ -2,6 +2,8 @@
 // count (best fanout per point). The paper's claim: tree per-processor
 // time *decreases* with P (tree overhead amortizes, branches combine in
 // parallel) — unlike central conventional barriers.
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <limits>
 
@@ -15,30 +17,47 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? bench::paper_cpu_counts(16) : opt.cpus;
   if (opt.quick) cpus = {16, 32};
 
-  const sync::Mechanism mechs[] = {
+  const std::array<sync::Mechanism, 5> mechs = {
       sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
       sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  // One task per (cpus, mechanism, fanout); the best fanout per (cpus,
+  // mechanism) is selected after the sweep.
+  std::vector<std::array<std::vector<double>, 5>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      std::size_t k = 0;
+      for (std::uint32_t fanout = 2; fanout < cpus[i]; fanout *= 2) ++k;
+      cells[i][j].resize(k);
+      k = 0;
+      for (std::uint32_t fanout = 2; fanout < cpus[i]; fanout *= 2, ++k) {
+        sweep.add([&, i, j, k, fanout] {
+          core::SystemConfig cfg = bench::base_config(opt);
+          cfg.num_cpus = cpus[i];
+          bench::BarrierParams params;
+          params.kind = bench::BarrierKind::kTree;
+          if (opt.episodes > 0) params.episodes = opt.episodes;
+          params.mech = mechs[j];
+          params.fanout = fanout;
+          cells[i][j][k] = bench::run_barrier(cfg, params).cycles_per_proc;
+        });
+      }
+    }
+  }
+  sweep.run();
 
   bench::print_header(
       "Figure 6: tree barrier cycles-per-processor (best fanout)", "CPUs",
       {"LLSC+tree", "ActMsg+tree", "Atomic+tree", "MAO+tree", "AMO+tree"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::BarrierParams params;
-    params.kind = bench::BarrierKind::kTree;
-    if (opt.episodes > 0) params.episodes = opt.episodes;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
     std::vector<double> row;
-    for (sync::Mechanism m : mechs) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
       double best = std::numeric_limits<double>::max();
-      for (std::uint32_t fanout = 2; fanout < p; fanout *= 2) {
-        params.mech = m;
-        params.fanout = fanout;
-        best = std::min(best, bench::run_barrier(cfg, params).cycles_per_proc);
-      }
+      for (double v : cells[i][j]) best = std::min(best, v);
       row.push_back(best);
     }
-    bench::print_row(p, row, 1);
+    bench::print_row(cpus[i], row, 1);
   }
   std::printf(
       "\nexpected shape: per-processor time decreases with P for all "

@@ -6,6 +6,7 @@
 // accesses — generates the MOST traffic under heavy contention, because
 // handler invocation overhead queues requests past the client timeout and
 // triggers retransmissions.
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -18,30 +19,40 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? std::vector<std::uint32_t>{128, 256} : opt.cpus;
   if (opt.quick) cpus = {32};
 
-  const sync::Mechanism mechs[] = {
-      sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
-      sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+  // Slot 0 is a dedicated LL/SC baseline run (as in the serial version),
+  // then one run per plotted mechanism.
+  const std::array<sync::Mechanism, 6> mechs = {
+      sync::Mechanism::kLlSc,   sync::Mechanism::kLlSc,
+      sync::Mechanism::kActMsg, sync::Mechanism::kAtomic,
+      sync::Mechanism::kMao,    sync::Mechanism::kAmo};
+
+  std::vector<std::array<double, 6>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        bench::LockParams params;
+        if (opt.iters > 0) params.iters = opt.iters;
+        params.mech = mechs[j];
+        cells[i][j] =
+            static_cast<double>(bench::run_lock(cfg, params).traffic.bytes);
+      });
+    }
+  }
+  sweep.run();
 
   bench::print_header(
       "Figure 7: ticket-lock network traffic (bytes, normalized to LL/SC)",
       "CPUs", {"LL/SC", "ActMsg", "Atomic", "MAO", "AMO"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::LockParams params;
-    if (opt.iters > 0) params.iters = opt.iters;
-
-    params.mech = sync::Mechanism::kLlSc;
-    const double base =
-        static_cast<double>(bench::run_lock(cfg, params).traffic.bytes);
-
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const double base = cells[i][0];
     std::vector<double> row;
-    for (sync::Mechanism m : mechs) {
-      params.mech = m;
-      const auto r = bench::run_lock(cfg, params);
-      row.push_back(static_cast<double>(r.traffic.bytes) / base);
+    for (std::size_t j = 1; j < mechs.size(); ++j) {
+      row.push_back(cells[i][j] / base);
     }
-    bench::print_row(p, row);
+    bench::print_row(cpus[i], row);
   }
   std::printf(
       "\nexpected shape: AMO lowest by far; ActMsg highest (timeout "

@@ -1,5 +1,7 @@
 #include "bench/harness.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 namespace amo::bench {
 
@@ -258,6 +261,13 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strncmp(a, "--iters=", 8) == 0) {
       opt.iters = static_cast<int>(
           parse_positive(a + 8, "--iters", std::numeric_limits<int>::max()));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      // Cap well above any sane machine; the point is rejecting garbage.
+      opt.threads =
+          static_cast<unsigned>(parse_positive(a + 10, "--threads", 4096));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      opt.seed = parse_positive(a + 7, "--seed",
+                                std::numeric_limits<std::uint64_t>::max());
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       if (a[7] == '\0') {
         throw std::runtime_error("--json: requires a file path");
@@ -267,8 +277,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "options: --cpus=a,b,c  --episodes=N  --iters=N  --quick"
-          "  --json=PATH\n");
+          "options: --cpus=a,b,c  --episodes=N  --iters=N  --threads=N"
+          "  --seed=N  --quick  --json=PATH\n");
       std::exit(0);
     } else {
       throw std::runtime_error(std::string("unknown option: ") + a);
@@ -288,19 +298,20 @@ CliOptions parse_cli_or_exit(int argc, char** argv) {
 }
 
 namespace {
-JsonReporter* g_reporter = nullptr;
+std::atomic<JsonReporter*> g_reporter{nullptr};
+thread_local sim::Json* t_capture = nullptr;
 }  // namespace
 
 JsonReporter::JsonReporter(const CliOptions& opt, std::string bench_name)
     : path_(opt.json_path), name_(std::move(bench_name)) {
-  if (g_reporter != nullptr) {
+  JsonReporter* expected = nullptr;
+  if (!g_reporter.compare_exchange_strong(expected, this)) {
     throw std::logic_error("JsonReporter: another reporter is already active");
   }
-  g_reporter = this;
 }
 
 JsonReporter::~JsonReporter() {
-  g_reporter = nullptr;
+  g_reporter.store(nullptr);
   try {
     write();
   } catch (const std::exception& e) {
@@ -308,10 +319,20 @@ JsonReporter::~JsonReporter() {
   }
 }
 
-JsonReporter* JsonReporter::current() { return g_reporter; }
+JsonReporter* JsonReporter::current() { return g_reporter.load(); }
+
+void JsonReporter::begin_capture(sim::Json* buffer) { t_capture = buffer; }
+
+void JsonReporter::end_capture() { t_capture = nullptr; }
 
 void JsonReporter::add(sim::Json record) {
-  if (active()) records_.push_back(std::move(record));
+  if (!active()) return;
+  if (t_capture != nullptr) {
+    t_capture->push_back(std::move(record));
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
 }
 
 void JsonReporter::write() {
@@ -329,6 +350,47 @@ void JsonReporter::write() {
   if (!out.good()) {
     throw std::runtime_error("short write to '" + path_ + "'");
   }
+}
+
+void SweepRunner::run() {
+  const std::size_t n = tasks_.size();
+  std::vector<sim::Json> captured(n, sim::Json::array());
+
+  auto run_one = [&](std::size_t i) {
+    JsonReporter::begin_capture(&captured[i]);
+    tasks_[i]();
+    JsonReporter::end_capture();
+  };
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= n) return;
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Flush per-task buffers in queue order: the reporter sees the same
+  // record sequence a serial run produces.
+  JsonReporter* rep = JsonReporter::current();
+  if (rep != nullptr) {
+    for (const sim::Json& arr : captured) {
+      for (std::size_t i = 0; i < arr.size(); ++i) rep->add(arr[i]);
+    }
+  }
+  tasks_.clear();
 }
 
 void print_header(const std::string& title, const std::string& col0,

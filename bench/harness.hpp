@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,14 +63,25 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params);
 /// The paper's processor-count axis (Tables 2/4); Table 3 starts at 16.
 std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus = 4);
 
-/// Parses --cpus=a,b,c / --episodes=N / --iters=N / --json=path overrides.
+/// Parses --cpus=a,b,c / --episodes=N / --iters=N / --threads=N / --seed=N
+/// / --json=path overrides.
 struct CliOptions {
   std::vector<std::uint32_t> cpus;
   int episodes = 0;  // 0 = keep default
   int iters = 0;
+  unsigned threads = 1;    // sweep worker threads (1 = serial)
+  std::uint64_t seed = 0;  // 0 = keep the config default
   bool quick = false;      // trimmed sweep for CI
   std::string json_path;   // empty = no machine-readable output
 };
+
+/// A default SystemConfig with the CLI overrides that live in the config
+/// (currently --seed) applied. Benches start every swept config from this.
+inline core::SystemConfig base_config(const CliOptions& opt) {
+  core::SystemConfig cfg;
+  if (opt.seed != 0) cfg.seed = opt.seed;
+  return cfg;
+}
 
 /// Strict parser: malformed values (non-numeric, empty, zero CPU counts,
 /// out-of-range) throw std::runtime_error with a message naming the flag.
@@ -90,6 +103,12 @@ CliOptions parse_cli_or_exit(int argc, char** argv);
 ///
 /// Hand-rolled benches append their own records via current()->add().
 /// Inactive (no --json=path) reporters are no-ops.
+///
+/// Concurrency: add() is safe to call from SweepRunner worker threads.
+/// While a capture buffer is installed on the calling thread (see
+/// begin_capture), records land there lock-free; otherwise add() appends
+/// to the shared array under a mutex. Writing still happens exactly once,
+/// on the owning thread, at destruction.
 class JsonReporter {
  public:
   JsonReporter(const CliOptions& opt, std::string bench_name);
@@ -100,7 +119,8 @@ class JsonReporter {
   [[nodiscard]] bool active() const { return !path_.empty(); }
   void add(sim::Json record);
 
-  /// Records accumulated so far (a JSON array) — mainly for tests.
+  /// Records accumulated so far (a JSON array) — mainly for tests. Only
+  /// meaningful once no sweep is running.
   [[nodiscard]] const sim::Json& records() const { return records_; }
 
   /// Writes the document now (also done by the destructor, once).
@@ -109,11 +129,48 @@ class JsonReporter {
   /// The installed sink, or nullptr when no reporter is alive.
   [[nodiscard]] static JsonReporter* current();
 
+  /// Redirects this thread's add() calls into `buffer` (a JSON array)
+  /// until end_capture(). SweepRunner uses this to give each task a
+  /// private buffer so records can be flushed in deterministic task order
+  /// no matter which worker ran the task when.
+  static void begin_capture(sim::Json* buffer);
+  static void end_capture();
+
  private:
   std::string path_;
   std::string name_;
   sim::Json records_ = sim::Json::array();
+  std::mutex mu_;      // guards records_ during concurrent add()
   bool written_ = false;
+};
+
+/// Runs a list of independent simulation tasks — typically one (mechanism,
+/// cpu_count) cell of a sweep each — across a pool of worker threads, or
+/// inline when constructed with one thread. Each task owns its Machine
+/// (and therefore its Engine and RNG), so tasks never share mutable state.
+///
+/// JSON records a task emits through JsonReporter are buffered per task
+/// and flushed to the reporter in add() order after every task finishes,
+/// so --json output is byte-identical to a serial run regardless of the
+/// thread count or scheduling. Terminal output belongs after run():
+/// compute into per-task result slots, then print.
+class SweepRunner {
+ public:
+  explicit SweepRunner(unsigned threads) : threads_(threads) {}
+
+  /// Queues a task. Tasks must not touch shared mutable state other than
+  /// the JsonReporter (which is capture-buffered for them).
+  void add(std::function<void()> task) { tasks_.push_back(std::move(task)); }
+
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+  /// Runs every queued task, blocks until all finish, flushes their JSON
+  /// records in queue order, and clears the queue.
+  void run();
+
+ private:
+  unsigned threads_;
+  std::vector<std::function<void()>> tasks_;
 };
 
 /// Fixed-width table printing helpers.

@@ -26,6 +26,59 @@ void BM_EventQueueChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChurn);
 
+// Steady-state throughput at a fixed queue depth: keep `depth` events in
+// flight, each rescheduling itself on execution. Exercises the recycled
+// chunk free-list rather than cold bucket growth.
+void BM_EventQueueSteadyDepth(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  constexpr int kEventsPerIter = 10000;
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  struct Self {
+    sim::Engine& engine;
+    std::uint64_t& fired;
+    std::uint64_t remaining;
+    void operator()() {
+      ++fired;
+      if (--remaining > 0) {
+        engine.schedule(static_cast<sim::Cycle>(fired % 211 + 1), *this);
+      }
+    }
+  };
+  for (auto _ : state) {
+    const auto per_event =
+        static_cast<std::uint64_t>(kEventsPerIter / depth);
+    for (int i = 0; i < depth; ++i) {
+      engine.schedule(static_cast<sim::Cycle>(i % 97),
+                      Self{engine, fired, per_event});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+}
+BENCHMARK(BM_EventQueueSteadyDepth)->Arg(10)->Arg(100)->Arg(1000);
+
+// Far-horizon scheduling: every event lands beyond the ladder window, so
+// pushes go through the overflow heap and pops replay it into buckets as
+// the window advances. Guards the queue's worst-case path.
+void BM_EventQueueFarHorizon(benchmark::State& state) {
+  constexpr int kEvents = 10000;
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      // Strides of 5000 cycles: ~5 window advances per 1024-cycle window.
+      engine.schedule(static_cast<sim::Cycle>((i % 89) * 5000),
+                      [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventQueueFarHorizon);
+
 sim::Task<void> ping(sim::Engine& engine, int hops) {
   for (int i = 0; i < hops; ++i) co_await engine.delay(1);
 }

@@ -10,6 +10,7 @@
 //   64     2.78    1.37     5.14    23.78
 //   128    2.74    1.24     8.02    34.74
 //   256    2.82    1.23     14.70   61.94
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -22,29 +23,35 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
   if (opt.quick) cpus = {4, 8, 16, 32};
 
-  const sync::Mechanism mechs[] = {sync::Mechanism::kActMsg,
-                                   sync::Mechanism::kAtomic,
-                                   sync::Mechanism::kMao,
-                                   sync::Mechanism::kAmo};
+  // Column 0 is the LL/SC baseline the speedups divide by.
+  const std::array<sync::Mechanism, 5> mechs = {
+      sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
+      sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  std::vector<std::array<double, 5>> cells(cpus.size());
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        bench::BarrierParams params;
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        params.mech = mechs[j];
+        cells[i][j] = bench::run_barrier(cfg, params).cycles_per_barrier;
+      });
+    }
+  }
+  sweep.run();
 
   bench::print_header("Table 2: barrier speedup over LL/SC", "CPUs",
                       {"LLSC(cyc)", "ActMsg", "Atomic", "MAO", "AMO"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::BarrierParams params;
-    if (opt.episodes > 0) params.episodes = opt.episodes;
-
-    params.mech = sync::Mechanism::kLlSc;
-    const bench::BarrierResult base = bench::run_barrier(cfg, params);
-
-    std::vector<double> row{base.cycles_per_barrier};
-    for (sync::Mechanism m : mechs) {
-      params.mech = m;
-      const bench::BarrierResult r = bench::run_barrier(cfg, params);
-      row.push_back(base.cycles_per_barrier / r.cycles_per_barrier);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::vector<double> row{cells[i][0]};
+    for (std::size_t j = 1; j < mechs.size(); ++j) {
+      row.push_back(cells[i][0] / cells[i][j]);
     }
-    bench::print_row(p, row);
+    bench::print_row(cpus[i], row);
   }
   std::printf(
       "\npaper:  4: 0.95/1.15/1.21/2.10   32: 2.38/1.36/4.20/15.14"

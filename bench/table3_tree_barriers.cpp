@@ -15,6 +15,8 @@
 // mechanisms and scale better; yet even the best non-AMO tree stays well
 // behind plain AMO; and AMO+tree <= plain AMO (trees add overhead AMOs
 // don't need).
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <limits>
 
@@ -28,42 +30,67 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? bench::paper_cpu_counts(16) : opt.cpus;
   if (opt.quick) cpus = {16, 32};
 
-  const sync::Mechanism mechs[] = {
+  const std::array<sync::Mechanism, 5> mechs = {
       sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
       sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  // Per row: the central LL/SC baseline, per-(mechanism, fanout) tree
+  // runs, and a final central AMO run — queued in the serial record order.
+  struct Row {
+    double base = 0;
+    std::array<std::vector<double>, 5> tree;  // [mech][fanout index]
+    double central_amo = 0;
+  };
+  std::vector<Row> rows(cpus.size());
+
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const std::uint32_t p = cpus[i];
+    auto queue_run = [&, i, p](sync::Mechanism mech, bench::BarrierKind kind,
+                               std::uint32_t fanout, double* out) {
+      sweep.add([&, i, p, mech, kind, fanout, out] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = p;
+        bench::BarrierParams params;
+        if (opt.episodes > 0) params.episodes = opt.episodes;
+        params.mech = mech;
+        params.kind = kind;
+        params.fanout = fanout;
+        *out = bench::run_barrier(cfg, params).cycles_per_barrier;
+      });
+    };
+
+    queue_run(sync::Mechanism::kLlSc, bench::BarrierKind::kCentral, 4,
+              &rows[i].base);
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
+      std::size_t k = 0;
+      for (std::uint32_t fanout = 2; fanout < p; fanout *= 2) ++k;
+      rows[i].tree[j].resize(k);
+      k = 0;
+      for (std::uint32_t fanout = 2; fanout < p; fanout *= 2, ++k) {
+        queue_run(mechs[j], bench::BarrierKind::kTree, fanout,
+                  &rows[i].tree[j][k]);
+      }
+    }
+    queue_run(sync::Mechanism::kAmo, bench::BarrierKind::kCentral, 4,
+              &rows[i].central_amo);
+  }
+  sweep.run();
 
   bench::print_header(
       "Table 3: tree barrier speedup over central LL/SC (best fanout)",
       "CPUs",
       {"LLSC+tree", "ActMsg+tree", "Atomic+tree", "MAO+tree", "AMO+tree",
        "AMO"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::BarrierParams params;
-    if (opt.episodes > 0) params.episodes = opt.episodes;
-
-    params.mech = sync::Mechanism::kLlSc;
-    params.kind = bench::BarrierKind::kCentral;
-    const double base = bench::run_barrier(cfg, params).cycles_per_barrier;
-
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
     std::vector<double> row;
-    for (sync::Mechanism m : mechs) {
+    for (std::size_t j = 0; j < mechs.size(); ++j) {
       double best = std::numeric_limits<double>::max();
-      for (std::uint32_t fanout = 2; fanout < p; fanout *= 2) {
-        params.mech = m;
-        params.kind = bench::BarrierKind::kTree;
-        params.fanout = fanout;
-        best = std::min(best,
-                        bench::run_barrier(cfg, params).cycles_per_barrier);
-      }
-      row.push_back(base / best);
+      for (double v : rows[i].tree[j]) best = std::min(best, v);
+      row.push_back(rows[i].base / best);
     }
-    // Plain AMO central for the last column.
-    params.mech = sync::Mechanism::kAmo;
-    params.kind = bench::BarrierKind::kCentral;
-    row.push_back(base / bench::run_barrier(cfg, params).cycles_per_barrier);
-    bench::print_row(p, row);
+    row.push_back(rows[i].base / rows[i].central_amo);
+    bench::print_row(cpus[i], row);
   }
   std::printf(
       "\npaper: 16: 1.70/2.41/2.25/2.60/2.59/9.11"

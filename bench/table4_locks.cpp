@@ -11,7 +11,9 @@
 // Headline claims: for conventional mechanisms the array lock loses below
 // ~32 CPUs and wins above; AMO lifts both far above everything else and
 // makes ticket-vs-array a wash.
+#include <array>
 #include <cstdio>
+#include <utility>
 
 #include "bench/harness.hpp"
 
@@ -23,37 +25,50 @@ int main(int argc, char** argv) {
       opt.cpus.empty() ? bench::paper_cpu_counts(4) : opt.cpus;
   if (opt.quick) cpus = {4, 8, 16};
 
-  const sync::Mechanism mechs[] = {
+  const std::array<sync::Mechanism, 5> mechs = {
       sync::Mechanism::kLlSc, sync::Mechanism::kActMsg,
       sync::Mechanism::kAtomic, sync::Mechanism::kMao, sync::Mechanism::kAmo};
+
+  // Variants in the serial run/record order: the LL/SC ticket baseline,
+  // then (mechanism, ticket/array) skipping the baseline combination.
+  std::vector<std::pair<sync::Mechanism, bool>> variants;
+  variants.emplace_back(sync::Mechanism::kLlSc, false);
+  for (sync::Mechanism m : mechs) {
+    for (bool array : {false, true}) {
+      if (m == sync::Mechanism::kLlSc && !array) continue;
+      variants.emplace_back(m, array);
+    }
+  }
+
+  std::vector<std::vector<double>> cells(
+      cpus.size(), std::vector<double>(variants.size(), 0.0));
+  bench::SweepRunner sweep(opt.threads);
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    for (std::size_t j = 0; j < variants.size(); ++j) {
+      sweep.add([&, i, j] {
+        core::SystemConfig cfg = bench::base_config(opt);
+        cfg.num_cpus = cpus[i];
+        bench::LockParams params;
+        if (opt.iters > 0) params.iters = opt.iters;
+        params.mech = variants[j].first;
+        params.array = variants[j].second;
+        cells[i][j] = bench::run_lock(cfg, params).total_cycles;
+      });
+    }
+  }
+  sweep.run();
 
   bench::print_header(
       "Table 4: lock speedups over the LL/SC ticket lock", "CPUs",
       {"LLSC(cyc)", "LLSC.t", "LLSC.a", "ActMsg.t", "ActMsg.a", "Atomic.t",
        "Atomic.a", "MAO.t", "MAO.a", "AMO.t", "AMO.a"});
-  for (std::uint32_t p : cpus) {
-    core::SystemConfig cfg;
-    cfg.num_cpus = p;
-    bench::LockParams params;
-    if (opt.iters > 0) params.iters = opt.iters;
-
-    params.mech = sync::Mechanism::kLlSc;
-    params.array = false;
-    const double base = bench::run_lock(cfg, params).total_cycles;
-
-    std::vector<double> row{base};
-    for (sync::Mechanism m : mechs) {
-      for (bool array : {false, true}) {
-        if (m == sync::Mechanism::kLlSc && !array) continue;  // the baseline
-        params.mech = m;
-        params.array = array;
-        row.push_back(base / bench::run_lock(cfg, params).total_cycles);
-      }
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const double base = cells[i][0];
+    std::vector<double> row{base, 1.0};  // base cycles, LLSC.t speedup
+    for (std::size_t j = 1; j < variants.size(); ++j) {
+      row.push_back(base / cells[i][j]);
     }
-    // Insert the baseline's 1.00 for readability.
-    row.insert(row.begin() + 1, 1.0);
-    // row layout: base cycles, LLSC.t(=1), LLSC.a, ActMsg.t, ActMsg.a, ...
-    bench::print_row(p, row);
+    bench::print_row(cpus[i], row);
   }
   std::printf(
       "\npaper: 4: AMO 1.95/1.31   64: LLSC.a 1.42, AMO 4.90/5.45"

@@ -5,10 +5,9 @@ namespace amo::sim {
 std::uint64_t Engine::run(Cycle deadline) {
   std::uint64_t processed = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    Cycle when = 0;
-    auto fn = queue_.pop(when);
-    now_ = when;
-    fn();
+    EventQueue::Popped ev = queue_.pop();
+    now_ = ev.when;
+    ev.fn();
     ++processed;
     ++executed_;
   }
@@ -24,10 +23,9 @@ void Engine::register_stats(StatsRegistry& reg,
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  Cycle when = 0;
-  auto fn = queue_.pop(when);
-  now_ = when;
-  fn();
+  EventQueue::Popped ev = queue_.pop();
+  now_ = ev.when;
+  ev.fn();
   ++executed_;
   return true;
 }

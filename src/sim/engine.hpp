@@ -4,7 +4,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "sim/event_queue.hpp"

@@ -1,28 +1,271 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <mutex>
 #include <utility>
 
 namespace amo::sim {
 
+namespace {
+
+// Min-heap order over (when, seq): std::*_heap build a max-heap w.r.t. the
+// comparator, so "a is later than b" puts the earliest entry at the front.
+struct Later {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+// Process-wide recycling of chunk slabs. Benchmarks construct hundreds of
+// machines back to back; without pooling, every engine re-faults its slab
+// pages in (glibc trims the freed block back to the OS), which dominates
+// short simulations. The pool is mutex-guarded — it is the only state
+// EventQueue instances share, so queues on different sweep threads stay
+// independent — and capped so idle memory stays bounded.
+struct SlabPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<std::byte[]>> slabs;
+};
+
+SlabPool& slab_pool() {
+  static SlabPool pool;
+  return pool;
+}
+
+constexpr std::size_t kMaxPooledSlabs = 256;  // ~17 MB of 66 KB slabs
+
+std::unique_ptr<std::byte[]> pool_acquire() {
+  SlabPool& pool = slab_pool();
+  const std::lock_guard<std::mutex> lock(pool.mu);
+  if (pool.slabs.empty()) return nullptr;
+  std::unique_ptr<std::byte[]> slab = std::move(pool.slabs.back());
+  pool.slabs.pop_back();
+  return slab;
+}
+
+void pool_release(std::vector<std::unique_ptr<std::byte[]>>& slabs) {
+  SlabPool& pool = slab_pool();
+  const std::lock_guard<std::mutex> lock(pool.mu);
+  while (!slabs.empty() && pool.slabs.size() < kMaxPooledSlabs) {
+    pool.slabs.push_back(std::move(slabs.back()));
+    slabs.pop_back();
+  }
+}
+
+}  // namespace
+
+EventQueue::EventQueue() { buckets_.resize(kWindowCycles); }
+
+EventQueue::~EventQueue() {
+  // Chunks live inside the slabs; only the pending callbacks they hold need
+  // destruction. Overflow entries clean themselves up; slabs go back to
+  // the process-wide pool so the next queue starts with warm pages.
+  for (Bucket& b : buckets_) {
+    for (Chunk* c = b.head; c != nullptr; c = c->next) {
+      for (std::uint32_t i = c->begin; i < c->end; ++i) c->slot(i)->~InlineFn();
+    }
+  }
+  pool_release(slabs_);
+}
+
+EventQueue::Chunk* EventQueue::alloc_chunk() {
+  Chunk* c = free_chunks_;
+  if (c != nullptr) {
+    free_chunks_ = c->next;
+  } else {
+    if (slab_used_ == kChunksPerSlab) {
+      std::unique_ptr<std::byte[]> slab = pool_acquire();
+      if (slab == nullptr) {
+        slab = std::make_unique_for_overwrite<std::byte[]>(kChunksPerSlab *
+                                                           sizeof(Chunk));
+      }
+      slabs_.push_back(std::move(slab));
+      slab_used_ = 0;
+    }
+    c = ::new (slabs_.back().get() + slab_used_ * sizeof(Chunk)) Chunk;
+    ++slab_used_;
+  }
+  c->next = nullptr;
+  c->begin = 0;
+  c->end = 0;
+  return c;
+}
+
+void EventQueue::occ_set(Cycle when) {
+  const std::size_t bit = static_cast<std::size_t>(when & kWindowMask);
+  occ_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+}
+
+void EventQueue::occ_clear(Cycle when) {
+  const std::size_t bit = static_cast<std::size_t>(when & kWindowMask);
+  occ_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+}
+
+void EventQueue::push_overflow(Entry e) {
+  overflow_.push_back(std::move(e));
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+}
+
+EventQueue::Entry EventQueue::pop_overflow() {
+  std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+  Entry e = std::move(overflow_.back());
+  overflow_.pop_back();
+  return e;
+}
+
+void EventQueue::bucket_append(Cycle when, Callback fn) {
+  Bucket& b = bucket_of(when);
+  Chunk* t = b.tail;
+  if (t == nullptr) {
+    t = alloc_chunk();
+    b.head = b.tail = t;
+    occ_set(when);
+  } else if (t->end == kChunkSlots) {
+    Chunk* c = alloc_chunk();
+    t->next = c;
+    b.tail = c;
+    t = c;
+  }
+  ::new (static_cast<void*>(t->raw + t->end * sizeof(InlineFn)))
+      InlineFn(std::move(fn));
+  ++t->end;
+  ++in_window_;
+}
+
 void EventQueue::push(Cycle when, Callback fn) {
-  heap_.push(Entry{when, seq_++, std::move(fn)});
+  if (size_ == 0) {
+    // Empty queue: the window can anchor anywhere. Buckets and occupancy
+    // are all clear, so re-basing is free.
+    base_ = when & ~kWindowMask;
+    next_time_ = when;
+  } else if (when < base_) {
+    rebase(when);  // cold path: standalone use pushing into the past
+  }
+  if (when < next_time_) next_time_ = when;
+
+  ++seq_;
+  if (when < window_end()) {
+    bucket_append(when, std::move(fn));
+  } else {
+    push_overflow(Entry{when, order_++, std::move(fn)});
+  }
+  ++size_;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  assert(size_ > 0 && "pop from empty EventQueue");
+  const Cycle when = next_time_;
+  Bucket& b = bucket_of(when);
+  Chunk* h = b.head;
+  assert(h != nullptr && h->begin < h->end && "settled bucket has no entry");
+  InlineFn* s = h->slot(h->begin);
+  Popped out{when, std::move(*s)};
+  s->~InlineFn();
+  bool bucket_drained = false;
+  if (++h->begin == h->end) {
+    // Chunk drained. Non-tail chunks are always full, so a drained chunk is
+    // either exhausted mid-chain or the bucket's last.
+    if (h->next != nullptr) {
+      b.head = h->next;
+    } else {
+      b.head = b.tail = nullptr;
+      occ_clear(when);
+      bucket_drained = true;
+    }
+    retire_chunk(h);
+  }
+  --in_window_;
+  --size_;
+  // While the current bucket still holds events, next_time_ is already
+  // correct; only a drained bucket forces a search for the next one.
+  if (bucket_drained && size_ > 0) settle();
+  return out;
+}
+
+bool EventQueue::scan_occupancy(Cycle from, Cycle* found) const {
+  std::size_t bit = static_cast<std::size_t>(from & kWindowMask);
+  std::size_t word = bit / 64;
+  std::uint64_t w = occ_[word] & (~std::uint64_t{0} << (bit % 64));
+  while (true) {
+    if (w != 0) {
+      const std::size_t idx =
+          word * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      *found = base_ + static_cast<Cycle>(idx);
+      return true;
+    }
+    if (++word == kOccWords) return false;
+    w = occ_[word];
+  }
+}
+
+void EventQueue::settle() {
+  if (in_window_ > 0) {
+    // The earliest event is bucketed at or after the last known minimum
+    // (pushes below it update next_time_ eagerly, pops only move forward).
+    Cycle found = 0;
+    const bool ok = scan_occupancy(next_time_, &found);
+    assert(ok && "occupancy bitmap lost in-window events");
+    (void)ok;
+    next_time_ = found;
+    return;
+  }
+  // Window drained: advance it to the overflow's earliest cycle and replay
+  // the now-in-window entries. Heap order is (when, seq), so same-cycle
+  // entries re-enter their bucket in FIFO order.
+  assert(!overflow_.empty() && "size_ > 0 but no events anywhere");
+  base_ = overflow_.front().when & ~kWindowMask;
+  next_time_ = overflow_.front().when;
+  while (!overflow_.empty() && overflow_.front().when < window_end()) {
+    Entry e = pop_overflow();
+    bucket_append(e.when, std::move(e.fn));
+  }
+}
+
+void EventQueue::rebase(Cycle when) {
+  // Spill every bucketed event back to the overflow heap, then re-anchor
+  // the window low enough for `when`. Fresh `order_` values are assigned in
+  // bucket FIFO order: buckets and overflow never share a cycle, so the
+  // relative order of same-cycle events is preserved and future pushes at
+  // those cycles still sort after them.
+  Cycle cursor = next_time_;
+  while (in_window_ > 0) {
+    Cycle found = 0;
+    const bool ok = scan_occupancy(cursor, &found);
+    assert(ok && "occupancy bitmap lost in-window events");
+    (void)ok;
+    Bucket& b = bucket_of(found);
+    for (Chunk* c = b.head; c != nullptr;) {
+      for (std::uint32_t i = c->begin; i < c->end; ++i) {
+        InlineFn* s = c->slot(i);
+        push_overflow(Entry{found, order_++, std::move(*s)});
+        s->~InlineFn();
+        --in_window_;
+      }
+      Chunk* next = c->next;
+      retire_chunk(c);
+      c = next;
+    }
+    b.head = b.tail = nullptr;
+    occ_clear(found);
+    cursor = found;
+  }
+  base_ = when & ~kWindowMask;
+  // Pull back whatever now fits in the re-anchored window.
+  while (!overflow_.empty() && overflow_.front().when < window_end()) {
+    Entry e = pop_overflow();
+    bucket_append(e.when, std::move(e.fn));
+  }
 }
 
 void EventQueue::register_stats(StatsRegistry& reg,
                                 const std::string& prefix) const {
   reg.add_counter(prefix + ".pushed", &seq_);
   reg.add_fn(prefix + ".pending",
-             [this] { return static_cast<std::uint64_t>(heap_.size()); });
-}
-
-EventQueue::Callback EventQueue::pop(Cycle& when_out) {
-  // priority_queue::top() is const; the callback must be moved out, so we
-  // const_cast the entry. This is safe: we pop immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  when_out = top.when;
-  Callback fn = std::move(top.fn);
-  heap_.pop();
-  return fn;
+             [this] { return static_cast<std::uint64_t>(size_); });
 }
 
 }  // namespace amo::sim

@@ -3,39 +3,61 @@
 // Events scheduled for the same cycle are processed in insertion (FIFO)
 // order, which the rest of the simulator relies on for determinism and for
 // per-(src,dst) message ordering in the network model.
+//
+// Layout: a two-level ladder queue. The near future — a kWindowCycles-wide
+// window of cycles aligned on a window boundary — is an array of per-cycle
+// FIFO buckets plus an occupancy bitmap; push and pop there are O(1).
+// Bucket storage is chunked: fixed-size chunks of InlineFn slots carved
+// from slab allocations and recycled through a free list, so steady-state
+// churn performs no heap allocation and no growth copies. Events beyond
+// the window (long timeouts, far-off timers) go to a binary-heap overflow
+// ordered by (cycle, push order). When the window drains, it advances to
+// the overflow's earliest cycle and the overflow's now-in-window entries
+// are replayed into buckets in push order, preserving exact FIFO within
+// every cycle across the bucket/overflow boundary.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
 namespace amo::sim {
 
-/// A min-heap of (time, sequence) ordered callbacks.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn;
+
+  /// An event popped from the queue: its scheduled time and its callback.
+  struct Popped {
+    Cycle when;
+    Callback fn;
+  };
+
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `fn` to run at absolute time `when`.
   void push(Cycle when, Callback fn);
 
   /// True when no events remain.
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
   /// Number of pending events.
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+  [[nodiscard]] Cycle next_time() const { return next_time_; }
 
-  /// Removes and returns the earliest event's callback, exposing its time
-  /// through `when_out`. Precondition: !empty().
-  Callback pop(Cycle& when_out);
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Popped pop();
 
   /// Total number of events ever pushed (for throughput accounting).
   [[nodiscard]] std::uint64_t total_pushed() const { return seq_; }
@@ -44,20 +66,91 @@ class EventQueue {
   void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
+  /// Cycles covered by the bucket window. Must be a power of two. 1024
+  /// covers every latency the machine model pays per event (hops ~100,
+  /// bus ~50, DRAM ~60, spin backoff ≤ ~2000 split across events); only
+  /// long watchdog timeouts take the overflow path.
+  static constexpr Cycle kWindowCycles = 1024;
+  static constexpr Cycle kWindowMask = kWindowCycles - 1;
+  static constexpr std::size_t kOccWords = kWindowCycles / 64;
+
+  /// Callbacks per storage chunk (~2 KB chunks) and chunks per slab
+  /// (~66 KB slabs): large enough that slab allocation is rare, small
+  /// enough that a sparse machine does not pin much idle memory.
+  static constexpr std::uint32_t kChunkSlots = 32;
+  static constexpr std::size_t kChunksPerSlab = 32;
+
+  // A far-future event in the overflow heap, ordered by (when, seq).
   struct Entry {
     Cycle when;
-    std::uint64_t seq;  // tie-break: FIFO within a cycle
+    std::uint64_t seq;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  // A fixed-size run of event slots. Slots in [begin, end) hold live
+  // callbacks (placement-constructed; their cycle is the owning bucket's).
+  // `next` chains bucket FIFO order, or the free list when retired.
+  struct Chunk {
+    Chunk* next;
+    std::uint32_t begin;
+    std::uint32_t end;
+    alignas(InlineFn) std::byte raw[kChunkSlots * sizeof(InlineFn)];
+
+    [[nodiscard]] InlineFn* slot(std::uint32_t i) {
+      return std::launder(
+          reinterpret_cast<InlineFn*>(raw + i * sizeof(InlineFn)));
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t seq_ = 0;
+  // Per-cycle FIFO: a chain of chunks. Empty iff head == nullptr.
+  struct Bucket {
+    Chunk* head = nullptr;
+    Chunk* tail = nullptr;
+  };
+
+  [[nodiscard]] Bucket& bucket_of(Cycle when) {
+    return buckets_[static_cast<std::size_t>(when & kWindowMask)];
+  }
+  [[nodiscard]] Cycle window_end() const { return base_ + kWindowCycles; }
+
+  Chunk* alloc_chunk();
+  void retire_chunk(Chunk* c) {
+    c->next = free_chunks_;
+    free_chunks_ = c;
+  }
+
+  void push_overflow(Entry e);
+  Entry pop_overflow();
+  void bucket_append(Cycle when, Callback fn);
+  void occ_set(Cycle when);
+  void occ_clear(Cycle when);
+
+  /// Re-establishes the invariant that `next_time_` names the earliest
+  /// pending cycle and its bucket is populated, advancing the window from
+  /// the overflow heap when the bucketed range has drained.
+  void settle();
+
+  /// Finds the first occupied bucket cycle at or after `from` within the
+  /// window, or returns false when the window is empty from there on.
+  [[nodiscard]] bool scan_occupancy(Cycle from, Cycle* found) const;
+
+  /// Moves every bucketed event back into the overflow heap so the window
+  /// can be re-anchored below `base_` (cold path: pushes into the past).
+  void rebase(Cycle when);
+
+  std::vector<Bucket> buckets_;
+  std::uint64_t occ_[kOccWords] = {};  // bit per window cycle: bucket non-empty
+  std::vector<Entry> overflow_;        // binary min-heap by (when, seq)
+  Cycle base_ = 0;                     // window start, kWindowCycles-aligned
+  Cycle next_time_ = 0;                // earliest pending cycle (size_ > 0)
+  std::size_t size_ = 0;               // total pending events
+  std::size_t in_window_ = 0;          // pending events held in buckets
+  std::uint64_t seq_ = 0;              // total pushes ever (stats)
+  std::uint64_t order_ = 0;            // overflow FIFO tie-break source
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t slab_used_ = kChunksPerSlab;  // chunks carved from last slab
+  Chunk* free_chunks_ = nullptr;            // retired chunks, LIFO
 };
 
 }  // namespace amo::sim

@@ -23,10 +23,7 @@ TEST(EventQueue, OrdersByTime) {
   q.push(30, [&] { order.push_back(3); });
   q.push(10, [&] { order.push_back(1); });
   q.push(20, [&] { order.push_back(2); });
-  while (!q.empty()) {
-    Cycle when = 0;
-    q.pop(when)();
-  }
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -36,10 +33,7 @@ TEST(EventQueue, FifoWithinSameCycle) {
   for (int i = 0; i < 16; ++i) {
     q.push(5, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) {
-    Cycle when = 0;
-    q.pop(when)();
-  }
+  while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -51,6 +45,175 @@ TEST(EventQueue, ReportsNextTimeAndSize) {
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.next_time(), 7u);
   EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+// The ladder queue buckets the near future and heaps the far future; FIFO
+// within a cycle must survive crossing the bucket-window boundary (events
+// for one cycle pushed while it is far-future AND after it entered the
+// window must interleave in push order).
+TEST(EventQueue, FifoAcrossWindowBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  const Cycle far = 5000;  // beyond the initial bucket window
+  q.push(far, [&] { order.push_back(0); });      // overflow path
+  q.push(far, [&] { order.push_back(1); });      // overflow path
+  q.push(1, [&] {
+    // Executed once `far` is still far-future; goes to overflow too.
+    q.push(far, [&] { order.push_back(2); });
+  });
+  q.push(far - 1, [&] {
+    // Executed after the window advanced to cover `far`; bucket path.
+    q.push(far, [&] { order.push_back(3); });
+  });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, OrdersFarFutureOverflowEvents) {
+  EventQueue q;
+  std::vector<Cycle> popped;
+  // All far apart: every event overflows and each pop advances the window.
+  for (Cycle t : {900000u, 10u, 500000u, 70000u, 3u, 1234567u}) {
+    q.push(t, [] {});
+  }
+  while (!q.empty()) popped.push_back(q.pop().when);
+  EXPECT_EQ(popped,
+            (std::vector<Cycle>{3, 10, 70000, 500000, 900000, 1234567}));
+}
+
+TEST(EventQueue, SparseEventsSpanningManyWindows) {
+  EventQueue q;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.push(static_cast<Cycle>(i) * 7919, [&sum, i] { sum += i; });
+  }
+  std::uint64_t pops = 0;
+  Cycle last = 0;
+  while (!q.empty()) {
+    EventQueue::Popped ev = q.pop();
+    EXPECT_GE(ev.when, last);
+    last = ev.when;
+    ev.fn();
+    ++pops;
+  }
+  EXPECT_EQ(pops, 100u);
+  EXPECT_EQ(sum, 99u * 100u / 2u);
+}
+
+// Standalone (non-engine) use may push below the current window base after
+// the queue drained down to far-future events; order must still hold.
+TEST(EventQueue, PushBelowWindowBaseReorders) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(100000, [&] { order.push_back(3); });  // anchors window up high
+  q.push(50, [&] { order.push_back(1); });      // below the window base
+  q.push(60, [&] { order.push_back(2); });
+  q.push(40, [&] { order.push_back(0); });
+  EXPECT_EQ(q.next_time(), 40u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, InterleavesBucketAndOverflowPushesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] {
+    // From inside an event at t=10, cycle 10+2000 is far-future.
+    for (int i = 0; i < 4; ++i) {
+      q.push(2010, [&order, i] { order.push_back(i); });
+    }
+  });
+  q.push(2000, [&] {
+    // By t=2000 the window has advanced; 2010 is bucketed now.
+    for (int i = 4; i < 8; ++i) {
+      q.push(2010, [&order, i] { order.push_back(i); });
+    }
+  });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(InlineFn, InvokesSmallCaptureInline) {
+  int hits = 0;
+  InlineFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, DefaultIsEmpty) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFn a([&hits] { ++hits; });
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  InlineFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, HoldsMoveOnlyCapture) {
+  auto flag = std::make_unique<int>(0);
+  int* raw = flag.get();
+  InlineFn fn([p = std::move(flag)] { ++*p; });
+  InlineFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(*raw, 1);
+}
+
+TEST(InlineFn, OverSboCaptureFallsBackToHeap) {
+  struct Big {
+    char pad[96];  // twice the inline buffer
+  };
+  Big big{};
+  big.pad[0] = 7;
+  int out = 0;
+  InlineFn fn([big, &out] { out = big.pad[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  InlineFn moved(std::move(fn));  // heap case: move relocates the pointer
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(InlineFn, SboBoundaryIsAtLeast48Bytes) {
+  // The kernel's contract: lambda captures up to 48 bytes never allocate.
+  struct Exactly48 {
+    char pad[48];
+  };
+  static_assert(InlineFn::fits_inline<Exactly48>());
+  Exactly48 payload{};
+  payload.pad[47] = 1;
+  InlineFn fn([payload] { (void)payload; });
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* live;
+    explicit Probe(int* l) : live(l) { ++*live; }
+    Probe(Probe&& o) noexcept : live(o.live) { ++*live; }
+    Probe(const Probe& o) : live(o.live) { ++*live; }
+    ~Probe() { --*live; }
+    void operator()() const {}
+  };
+  int live = 0;
+  {
+    InlineFn fn{Probe(&live)};
+    EXPECT_GE(live, 1);
+    InlineFn moved(std::move(fn));
+    EXPECT_GE(live, 1);
+  }
+  EXPECT_EQ(live, 0);
 }
 
 TEST(Engine, AdvancesClockToEventTime) {
