@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "amu/amo_ops.hpp"
@@ -28,6 +27,7 @@
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/stats.hpp"
 #include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
@@ -60,7 +60,9 @@ struct AmoRequest {
   bool has_test = false;
   std::uint64_t test = 0;
   bool coherent = true;  // true: AMO, false: MAO
-  std::function<void(std::uint64_t)> reply;  // receives the *old* value
+  // Receives the *old* value. InlineFn storage makes requests move-only;
+  // they travel through the queue and retry loops without allocation.
+  sim::InlineFnT<std::uint64_t> reply;
 };
 
 class Amu final : public coh::AmuIface {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -18,9 +19,11 @@ class CacheIface {
   virtual ~CacheIface() = default;
 
   /// Line data response for an outstanding GetS/GetX (exclusive =>
-  /// E-state grant). Completes the MSHR and wakes waiters.
+  /// E-state grant). Completes the MSHR and wakes waiters. The payload is
+  /// a view into the sender's buffer, valid only for the duration of the
+  /// call; the cache copies it into its own line storage.
   virtual void on_data(sim::Addr block, bool exclusive,
-                       std::vector<std::uint64_t> data) = 0;
+                       std::span<const std::uint64_t> data) = 0;
 
   /// Upgrade succeeded: promote the resident S line to M.
   virtual void on_upgrade_ack(sim::Addr block) = 0;

@@ -204,14 +204,14 @@ void CacheCtrl::complete_mshr(sim::Addr block) {
 // ----------------------------------------------------------- CacheIface
 
 void CacheCtrl::on_data(sim::Addr block, bool exclusive,
-                        std::vector<std::uint64_t> data) {
+                        std::span<const std::uint64_t> data) {
   mem::Cache::Line* line = l2_.find(block, /*touch=*/false);
   if (line != nullptr) {
     // An upgrade that degenerated to GetX, or an S line refreshed: adopt
     // the authoritative copy and the granted state.
     line->state =
         exclusive ? mem::LineState::kExclusive : mem::LineState::kShared;
-    line->data = std::move(data);
+    line->data.assign(data.begin(), data.end());
     line->pinned = false;
   } else {
     auto victim = l2_.insert(
@@ -275,7 +275,7 @@ void CacheCtrl::on_recall(sim::Addr block, bool exclusive,
     return;
   }
   const bool dirty = line->state == mem::LineState::kModified;
-  std::vector<std::uint64_t> data = line->data;
+  mem::LineBuf data(line->data);
   if (exclusive) {
     l2_.invalidate(block);
     l1_.invalidate(block);

@@ -86,7 +86,7 @@ class CacheCtrl final : public CacheIface {
 
   // ---------------------------------------------------- CacheIface
   void on_data(sim::Addr block, bool exclusive,
-               std::vector<std::uint64_t> data) override;
+               std::span<const std::uint64_t> data) override;
   void on_upgrade_ack(sim::Addr block) override;
   void on_inval(sim::Addr block) override;
   void on_recall(sim::Addr block, bool exclusive,

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
-#include <unordered_map>
 #include <utility>
 
 namespace amo::coh {
+
+namespace {
+constexpr std::size_t kInitialTableSlots = 256;  // power of two
+}  // namespace
 
 Directory::Directory(sim::Engine& engine, Wiring& wiring, Agents& agents,
                      sim::NodeId node, mem::Backing& backing, mem::Dram& dram,
@@ -19,19 +21,169 @@ Directory::Directory(sim::Engine& engine, Wiring& wiring, Agents& agents,
       dram_(dram),
       config_(config),
       sizes_{backing.line_bytes()},
-      tracer_(tracer) {}
+      tracer_(tracer) {
+  assert(backing.words_per_line() <= mem::LineBuf::kMaxWords);
+  table_.resize(kInitialTableSlots);
+}
+
+// ------------------------------------------------------------ entry table
+
+std::uint32_t Directory::table_find(sim::Addr block) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = table_home(block, mask);
+  while (table_[i].idx != kNil) {
+    if (table_[i].key == block) return table_[i].idx;
+    i = (i + 1) & mask;
+  }
+  return kNil;
+}
+
+void Directory::table_grow() {
+  std::vector<TableSlot> old = std::move(table_);
+  table_.assign(old.size() * 2, TableSlot{});
+  const std::size_t mask = table_.size() - 1;
+  for (const TableSlot& s : old) {
+    if (s.idx == kNil) continue;
+    std::size_t i = table_home(s.key, mask);
+    while (table_[i].idx != kNil) i = (i + 1) & mask;
+    table_[i] = s;
+  }
+}
 
 Directory::Entry& Directory::entry(sim::Addr block) {
   assert(block == backing_.line_base(block));
-  return entries_[block];
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = table_home(block, mask);
+  while (table_[i].idx != kNil) {
+    if (table_[i].key == block) return entry_at(table_[i].idx);
+    i = (i + 1) & mask;
+  }
+  // Miss: pull an entry from the free list (or carve a new one) and seat
+  // it. Pooled entries are reset on release (maybe_reclaim), so a reused
+  // one is already in the default state.
+  std::uint32_t idx = entry_free_;
+  if (idx != kNil) {
+    entry_free_ = entry_at(idx).next_free;
+    entry_at(idx).next_free = kNil;
+  } else {
+    if (entries_alloced_ % kEntriesPerSlab == 0) {
+      slabs_.push_back(std::make_unique<Entry[]>(kEntriesPerSlab));
+    }
+    idx = entries_alloced_++;
+  }
+  table_[i] = TableSlot{block, idx};
+  ++table_count_;
+  // Grow at 3/4 load so probe chains stay short.
+  if (table_count_ * 4 >= table_.size() * 3) table_grow();
+  return entry_at(idx);
 }
 
 const Directory::Entry* Directory::peek_entry(sim::Addr block) const {
-  auto it = entries_.find(block);
-  return it == entries_.end() ? nullptr : &it->second;
+  const std::uint32_t idx = table_find(block);
+  return idx == kNil ? nullptr : &entry_at(idx);
 }
 
-void Directory::occupy(std::function<void()> fn, sim::Cycle cycles) {
+void Directory::maybe_reclaim(sim::Addr block) {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = table_home(block, mask);
+  while (table_[i].idx != kNil && table_[i].key != block) i = (i + 1) & mask;
+  if (table_[i].idx == kNil) return;
+  const std::uint32_t idx = table_[i].idx;
+  Entry& e = entry_at(idx);
+  const bool vacant = e.st == State::kUncached && !e.busy && !e.amu_sharer &&
+                      !e.coarse && e.wait_head == kNil && e.sharers.none();
+  if (!vacant) return;
+  // Reset for reuse and push onto the free list.
+  e.owner = sim::kInvalidCpu;
+  e.txn = Txn{};
+  e.next_free = entry_free_;
+  entry_free_ = idx;
+  --table_count_;
+  // Backward-shift deletion: refill the hole from the probe chain so
+  // lookups never need tombstones.
+  std::size_t hole = i;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (table_[j].idx == kNil) break;
+    const std::size_t home = table_home(table_[j].key, mask);
+    // Slot j may move into the hole only if its home position does not
+    // lie cyclically within (hole, j] — otherwise the move would break
+    // the probe chain from `home` to j.
+    const bool home_in_gap = hole <= j ? (home > hole && home <= j)
+                                       : (home > hole || home <= j);
+    if (!home_in_gap) {
+      table_[hole] = table_[j];
+      hole = j;
+    }
+  }
+  table_[hole] = TableSlot{};
+}
+
+// --------------------------------------------------------------- pools
+
+void Directory::wait_push(Entry& e, sim::InlineFn fn) {
+  std::uint32_t idx = wait_free_;
+  if (idx != kNil) {
+    wait_free_ = wait_nodes_[idx].next;
+    wait_nodes_[idx].fn = std::move(fn);
+    wait_nodes_[idx].next = kNil;
+  } else {
+    idx = static_cast<std::uint32_t>(wait_nodes_.size());
+    wait_nodes_.push_back(WaitNode{std::move(fn), kNil});
+  }
+  if (e.wait_tail == kNil) {
+    e.wait_head = idx;
+  } else {
+    wait_nodes_[e.wait_tail].next = idx;
+  }
+  e.wait_tail = idx;
+}
+
+sim::InlineFn Directory::wait_pop(Entry& e) {
+  assert(e.wait_head != kNil);
+  const std::uint32_t idx = e.wait_head;
+  WaitNode& n = wait_nodes_[idx];
+  e.wait_head = n.next;
+  if (e.wait_head == kNil) e.wait_tail = kNil;
+  sim::InlineFn fn = std::move(n.fn);
+  n.next = wait_free_;
+  wait_free_ = idx;
+  return fn;
+}
+
+std::uint32_t Directory::alloc_put_wave() {
+  std::uint32_t idx = put_wave_free_;
+  if (idx != kNil) {
+    put_wave_free_ = put_waves_[idx].next_free;
+    put_waves_[idx].next_free = kNil;
+    put_waves_[idx].targets.reset();
+    put_waves_[idx].refs = 0;
+  } else {
+    idx = static_cast<std::uint32_t>(put_waves_.size());
+    put_waves_.emplace_back();
+  }
+  return idx;
+}
+
+void Directory::deliver_put(std::uint32_t wave, sim::Addr addr,
+                            std::uint64_t value, sim::NodeId n) {
+  PutWave& w = put_waves_[wave];
+  const std::uint32_t cpn = wiring_.cpus_per_node();
+  const auto total = static_cast<sim::CpuId>(agents_.caches.size());
+  const sim::CpuId begin = n * cpn;
+  const sim::CpuId end = std::min<sim::CpuId>(begin + cpn, total);
+  for (sim::CpuId c = begin; c < end; ++c) {
+    if (w.targets.test(c)) agents_.caches[c]->on_word_update(addr, value);
+  }
+  assert(w.refs > 0);
+  if (--w.refs == 0) {
+    w.next_free = put_wave_free_;
+    put_wave_free_ = wave;
+  }
+}
+
+void Directory::occupy(sim::InlineFn fn, sim::Cycle cycles) {
   if (cycles == 0) cycles = config_.occupancy_cycles;
   const sim::Cycle start = std::max(engine_.now(), busy_until_);
   busy_until_ = start + cycles;
@@ -56,9 +208,9 @@ void Directory::on_upgrade(sim::CpuId r, sim::Addr block) {
 }
 
 void Directory::on_putm(sim::CpuId o, sim::Addr block,
-                        std::vector<std::uint64_t> data) {
+                        std::span<const std::uint64_t> data) {
   ++stats_.putbacks;
-  occupy([this, o, block, data = std::move(data)]() mutable {
+  occupy([this, o, block, data = mem::LineBuf(data)] {
     Entry& e = entry(block);
     if (e.busy) {
       // A putback arriving at a busy block must be the crossing case: the
@@ -75,6 +227,7 @@ void Directory::on_putm(sim::CpuId o, sim::Addr block,
       e.owner = sim::kInvalidCpu;
     }
     // Otherwise: stale putback (ownership already moved on); drop.
+    maybe_reclaim(block);
   });
 }
 
@@ -92,12 +245,13 @@ void Directory::on_pute(sim::CpuId o, sim::Addr block) {
       e.st = State::kUncached;
       e.owner = sim::kInvalidCpu;
     }
+    maybe_reclaim(block);
   });
 }
 
 void Directory::on_recall_resp(sim::CpuId o, sim::Addr block, bool had_line,
-                               bool dirty, std::vector<std::uint64_t> data) {
-  occupy([this, o, block, had_line, dirty, data = std::move(data)]() mutable {
+                               bool dirty, std::span<const std::uint64_t> data) {
+  occupy([this, o, block, had_line, dirty, data = mem::LineBuf(data)] {
     Entry& e = entry(block);
     assert(e.busy && e.txn.waiting_recall && e.txn.recall_from == o);
     if (dirty) {
@@ -154,8 +308,7 @@ void Directory::on_uncached_write(sim::CpuId r, sim::Addr addr,
   }, config_.uncached_occupancy_cycles);
 }
 
-void Directory::word_get(sim::Addr addr,
-                         std::function<void(std::uint64_t)> done) {
+void Directory::word_get(sim::Addr addr, sim::InlineFnT<std::uint64_t> done) {
   occupy([this, addr, done = std::move(done)]() mutable {
     handle_word_get(addr, std::move(done));
   });
@@ -174,45 +327,54 @@ void Directory::word_put(sim::Addr addr, std::uint64_t value) {
     const sim::Addr block = backing_.line_base(addr);
     Entry& e = entry(block);
 
-    // Collect recipients: every sharer, or the exclusive owner (its M/E
-    // copy is patched in place).
-    auto by_node = std::make_shared<
-        std::unordered_map<sim::NodeId, std::vector<sim::CpuId>>>();
-    auto add = [&](sim::CpuId c) { (*by_node)[wiring_.node_of(c)].push_back(c); };
+    // Snapshot the recipients into a pooled wave: every sharer, or the
+    // exclusive owner (its M/E copy is patched in place).
+    const std::uint32_t wave = alloc_put_wave();
+    PutWave& w = put_waves_[wave];
+    const auto total = static_cast<sim::CpuId>(agents_.caches.size());
     if (e.st == State::kExclusive) {
-      add(e.owner);
+      w.targets.set(e.owner);
     } else if (e.coarse) {
       // Pointer overflow: the put wave must reach everyone. This is the
       // interesting interaction: AMO's cheap word updates depend on the
       // directory knowing its sharers (bench/ablation_dir_pointers).
-      const auto total = static_cast<sim::CpuId>(agents_.caches.size());
-      for (sim::CpuId c = 0; c < total; ++c) add(c);
+      for (sim::CpuId c = 0; c < total; ++c) w.targets.set(c);
     } else {
-      for (sim::CpuId c = 0; c < kMaxCpus; ++c) {
-        if (e.sharers.test(c)) add(c);
-      }
+      w.targets = e.sharers;
     }
-    if (by_node->empty()) return;
 
-    std::vector<sim::NodeId> nodes;
-    nodes.reserve(by_node->size());
-    for (const auto& [n, cpus] : *by_node) nodes.push_back(n);
-    std::sort(nodes.begin(), nodes.end());  // deterministic fan-out order
-    stats_.word_updates_sent += nodes.size();
+    // Target nodes, ascending (cpu ids ascend within a node, so scanning
+    // cpus in order yields nodes in order — the deterministic fan-out
+    // order the old sorted-vector path produced).
+    put_nodes_.clear();
+    for (sim::CpuId c = 0; c < total; ++c) {
+      if (!w.targets.test(c)) continue;
+      const sim::NodeId n = wiring_.node_of(c);
+      if (put_nodes_.empty() || put_nodes_.back() != n) put_nodes_.push_back(n);
+    }
+    if (put_nodes_.empty()) {
+      put_waves_[wave].next_free = put_wave_free_;
+      put_wave_free_ = wave;
+      return;
+    }
+    w.refs = static_cast<std::uint32_t>(put_nodes_.size());
+    stats_.word_updates_sent += put_nodes_.size();
 
     const std::uint32_t bytes =
         config_.put_block_granularity ? sizes_.data() : sizes_.word();
-    wiring_.post_update(node_, nodes, bytes,
-                        [this, addr, value, by_node](sim::NodeId n) {
-                          for (sim::CpuId c : by_node->at(n)) {
-                            agents_.caches[c]->on_word_update(addr, value);
-                          }
+    // 32-byte capture: the whole fan-out closure stays inline.
+    wiring_.post_update(node_, put_nodes_, bytes,
+                        [this, wave, addr, value](sim::NodeId n) {
+                          deliver_put(wave, addr, value, n);
                         });
   });
 }
 
 void Directory::amu_release(sim::Addr block) {
-  occupy([this, block] { entry(block).amu_sharer = false; });
+  occupy([this, block] {
+    entry(block).amu_sharer = false;
+    maybe_reclaim(block);
+  });
 }
 
 // --------------------------------------------------------------- handlers
@@ -221,7 +383,7 @@ void Directory::handle_gets(sim::CpuId r, sim::Addr block) {
   Entry& e = entry(block);
   if (e.busy) {
     ++stats_.deferred;
-    e.waiting.push_back([this, r, block] { handle_gets(r, block); });
+    wait_push(e, [this, r, block] { handle_gets(r, block); });
     return;
   }
   switch (e.st) {
@@ -268,7 +430,7 @@ void Directory::handle_getx(sim::CpuId r, sim::Addr block) {
   Entry& e = entry(block);
   if (e.busy) {
     ++stats_.deferred;
-    e.waiting.push_back([this, r, block] { handle_getx(r, block); });
+    wait_push(e, [this, r, block] { handle_getx(r, block); });
     return;
   }
   switch (e.st) {
@@ -319,7 +481,7 @@ void Directory::handle_upgrade(sim::CpuId r, sim::Addr block) {
   Entry& e = entry(block);
   if (e.busy) {
     ++stats_.deferred;
-    e.waiting.push_back([this, r, block] { handle_upgrade(r, block); });
+    wait_push(e, [this, r, block] { handle_upgrade(r, block); });
     return;
   }
   if (e.st != State::kShared || !e.sharers.test(r) || e.amu_sharer) {
@@ -384,12 +546,12 @@ void Directory::handle_uncached_write(sim::CpuId r, sim::Addr addr,
 }
 
 void Directory::handle_word_get(sim::Addr addr,
-                                std::function<void(std::uint64_t)> done) {
+                                sim::InlineFnT<std::uint64_t> done) {
   const sim::Addr block = backing_.line_base(addr);
   Entry& e = entry(block);
   if (e.busy) {
     ++stats_.deferred;
-    e.waiting.push_back([this, addr, done = std::move(done)]() mutable {
+    wait_push(e, [this, addr, done = std::move(done)]() mutable {
       handle_word_get(addr, std::move(done));
     });
     return;
@@ -412,7 +574,7 @@ void Directory::handle_word_get(sim::Addr addr,
   const std::uint64_t value = backing_.read_word(addr);
   const sim::Cycle when = dram_.access();
   engine_.schedule_at(when,
-                      [this, block, done = std::move(done), value] {
+                      [this, block, done = std::move(done), value]() mutable {
                         done(value);
                         entry(block).busy = false;
                         kick(block);
@@ -421,8 +583,8 @@ void Directory::handle_word_get(sim::Addr addr,
 
 // ---------------------------------------------------------------- helpers
 
-std::vector<std::uint64_t> Directory::coherent_line(sim::Addr block) {
-  std::vector<std::uint64_t> line = backing_.read_line(block);
+mem::LineBuf Directory::coherent_line(sim::Addr block) {
+  mem::LineBuf line(backing_.read_line(block));
   const Entry* e = peek_entry(block);
   if (e != nullptr && e->amu_sharer) {
     AmuIface* amu = agents_.amus[node_];
@@ -499,11 +661,10 @@ void Directory::reply_data(sim::CpuId r, sim::Addr block, bool exclusive) {
     // word-put can land during the DRAM access, and its word-update to the
     // requestor is dropped (no line yet). Injection-time data plus
     // per-(src,dst) FIFO ordering of any later update closes that window.
-    std::vector<std::uint64_t> line = coherent_line(block);
     wiring_.post(node_, wiring_.node_of(r), net::MsgClass::kResponse,
                  sizes_.data(),
                  [cache = agents_.caches[r], block, exclusive,
-                  line = std::move(line)] {
+                  line = coherent_line(block)] {
                    cache->on_data(block, exclusive, line);
                  });
     entry(block).busy = false;
@@ -577,7 +738,8 @@ void Directory::finish_txn(sim::Addr block) {
       // Hold the block busy until the AMU has installed the word: a GetX
       // processed in between would otherwise miss the merge-and-drop.
       engine_.schedule(wiring_.local_cycles(),
-                       [this, block, done = std::move(t.word_done), value] {
+                       [this, block, done = std::move(t.word_done),
+                        value]() mutable {
                          done(value);
                          entry(block).busy = false;
                          kick(block);
@@ -589,10 +751,12 @@ void Directory::finish_txn(sim::Addr block) {
 
 void Directory::kick(sim::Addr block) {
   Entry& e = entry(block);
-  if (e.busy || e.waiting.empty()) return;
-  auto fn = std::move(e.waiting.front());
-  e.waiting.pop_front();
-  occupy(std::move(fn));
+  if (e.busy) return;
+  if (e.wait_head == kNil) {
+    maybe_reclaim(block);
+    return;
+  }
+  occupy(wait_pop(e));
 }
 
 // ----------------------------------------------------------- introspection

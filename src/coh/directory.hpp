@@ -9,10 +9,8 @@
 
 #include <bitset>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "coh/agents.hpp"
@@ -20,7 +18,9 @@
 #include "coh/wiring.hpp"
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
+#include "mem/line_buf.hpp"
 #include "sim/future.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
 
@@ -79,12 +79,15 @@ class Directory {
   void on_gets(sim::CpuId r, sim::Addr block);
   void on_getx(sim::CpuId r, sim::Addr block);
   void on_upgrade(sim::CpuId r, sim::Addr block);
-  void on_putm(sim::CpuId o, sim::Addr block, std::vector<std::uint64_t> data);
+  /// Writeback of a modified line. `data` is a call-duration view; the
+  /// directory copies what it needs before returning.
+  void on_putm(sim::CpuId o, sim::Addr block,
+               std::span<const std::uint64_t> data);
   void on_pute(sim::CpuId o, sim::Addr block);
   /// Recall response. `had_line`: the owner still held the line (kept an S
   /// copy for a share recall). `dirty`: `data` carries modified contents.
   void on_recall_resp(sim::CpuId o, sim::Addr block, bool had_line, bool dirty,
-                      std::vector<std::uint64_t> data);
+                      std::span<const std::uint64_t> data);
   void on_inv_ack(sim::CpuId s, sim::Addr block);
   /// Three-hop mode: the requestor installed forwarded data.
   void on_fill_ack(sim::CpuId r, sim::Addr block);
@@ -97,8 +100,9 @@ class Directory {
 
   // --- fine-grained interface for the on-hub AMU ---
   /// Fetches the coherent value of a word; registers the AMU as a
-  /// word-granular sharer. May recall an exclusive owner.
-  void word_get(sim::Addr addr, std::function<void(std::uint64_t)> done);
+  /// word-granular sharer. May recall an exclusive owner. `done` may hold
+  /// move-only captures.
+  void word_get(sim::Addr addr, sim::InlineFnT<std::uint64_t> done);
   /// Pushes a word value to memory and to every cached copy.
   void word_put(sim::Addr addr, std::uint64_t value);
   /// The AMU evicted its last word of this block.
@@ -118,6 +122,9 @@ class Directory {
   [[nodiscard]] sim::NodeId node() const { return node_; }
 
  private:
+  /// Sentinel for the pool/free-list index links below.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Txn {
     enum class Kind : std::uint8_t { kGetS, kGetX, kUpgrade, kWordGet };
     Kind kind = Kind::kGetS;
@@ -129,10 +136,14 @@ class Directory {
     bool owner_retained = false;   // owner kept an S copy (share recall)
     bool forwarded = false;        // three-hop: owner shipped data directly
     bool fill_acked = false;       // three-hop: requestor confirmed install
-    std::function<void(std::uint64_t)> word_done;  // kWordGet completion
+    sim::InlineFnT<std::uint64_t> word_done;  // kWordGet completion
     sim::Addr word_addr = 0;
   };
 
+  // A directory line entry. Entries live in slab-pooled storage (stable
+  // addresses) reached through the open-addressing table below; `waiting`
+  // is an intrusive FIFO of pooled WaitNode indices, and `next_free`
+  // threads vacant entries into the pool's free list.
   struct Entry {
     State st = State::kUncached;
     bool coarse = false;  // limited-pointer overflow: sharers unknown
@@ -141,15 +152,66 @@ class Directory {
     bool amu_sharer = false;
     bool busy = false;
     Txn txn;
-    std::deque<std::function<void()>> waiting;
+    std::uint32_t wait_head = kNil;  // deferred-request FIFO (WaitNode pool)
+    std::uint32_t wait_tail = kNil;
+    std::uint32_t next_free = kNil;  // intrusive Entry free list
   };
 
+  /// A deferred request parked behind a busy block. Nodes are drawn from
+  /// a directory-wide slab pool and recycled through a free list, so the
+  /// per-entry queue costs no allocation in steady state (the deque of
+  /// std::function it replaces allocated per entry *and* per deferral).
+  struct WaitNode {
+    sim::InlineFn fn;
+    std::uint32_t next = kNil;
+  };
+
+  /// One word-put fan-out in flight: the sharer snapshot taken at the
+  /// directory pipeline slot, delivered per node. `refs` counts target
+  /// nodes still undelivered; the wave returns to the free list at zero.
+  /// Replaces a per-put shared_ptr<unordered_map<NodeId, vector<CpuId>>>.
+  struct PutWave {
+    std::bitset<kMaxCpus> targets;
+    std::uint32_t refs = 0;
+    std::uint32_t next_free = kNil;
+  };
+
+  // --- entry table: open addressing + pooled entry storage ---
   Entry& entry(sim::Addr block);
   [[nodiscard]] const Entry* peek_entry(sim::Addr block) const;
+  [[nodiscard]] std::size_t table_home(sim::Addr block, std::size_t mask)
+      const {
+    // Fibonacci multiplicative hash; blocks are line-aligned, the multiply
+    // spreads the low zero bits across the table.
+    return static_cast<std::size_t>(
+               (block * 0x9E3779B97F4A7C15ull) >> 32) & mask;
+  }
+  [[nodiscard]] std::uint32_t table_find(sim::Addr block) const;
+  void table_grow();
+  Entry& entry_at(std::uint32_t idx) {
+    return slabs_[idx / kEntriesPerSlab][idx % kEntriesPerSlab];
+  }
+  [[nodiscard]] const Entry& entry_at(std::uint32_t idx) const {
+    return slabs_[idx / kEntriesPerSlab][idx % kEntriesPerSlab];
+  }
+  /// Frees `block`'s entry back to the pool when it carries no state at
+  /// all (idle, uncached, unshared, no waiters): long-running workloads
+  /// would otherwise accumulate one dead entry per block ever touched.
+  /// Call only at points where no Entry& reference is live.
+  void maybe_reclaim(sim::Addr block);
+
+  // --- waiting-queue pool ---
+  void wait_push(Entry& e, sim::InlineFn fn);
+  [[nodiscard]] sim::InlineFn wait_pop(Entry& e);
+
+  // --- put-wave pool ---
+  [[nodiscard]] std::uint32_t alloc_put_wave();
+  void deliver_put(std::uint32_t wave, sim::Addr addr, std::uint64_t value,
+                   sim::NodeId n);
 
   /// Serializes message processing through the directory pipeline.
   /// `cycles` == 0 uses the default per-message occupancy.
-  void occupy(std::function<void()> fn, sim::Cycle cycles = 0);
+  void occupy(sim::InlineFn fn, sim::Cycle cycles = 0);
 
   // Handlers run after the occupancy slot.
   void handle_gets(sim::CpuId r, sim::Addr block);
@@ -159,10 +221,11 @@ class Directory {
                             sim::Promise<std::uint64_t> reply);
   void handle_uncached_write(sim::CpuId r, sim::Addr addr, std::uint64_t value,
                              sim::Promise<std::uint64_t> ack);
-  void handle_word_get(sim::Addr addr, std::function<void(std::uint64_t)> done);
+  void handle_word_get(sim::Addr addr, sim::InlineFnT<std::uint64_t> done);
 
-  /// Reads the line from backing store with AMU words merged in.
-  std::vector<std::uint64_t> coherent_line(sim::Addr block);
+  /// Reads the line from backing store with AMU words merged in. Returns
+  /// a fixed inline buffer (no allocation).
+  mem::LineBuf coherent_line(sim::Addr block);
   /// Merges + drops the AMU's words before a processor takes ownership.
   void flush_amu(sim::Addr block);
 
@@ -188,7 +251,32 @@ class Directory {
   MsgSizes sizes_;
   sim::Tracer* tracer_;
   sim::Cycle busy_until_ = 0;  // occupancy pipeline
-  std::unordered_map<sim::Addr, Entry> entries_;
+
+  /// Entries per storage slab. Entries are ~200 bytes; 64 per slab keeps
+  /// allocation rare without pinning much idle memory per directory.
+  static constexpr std::uint32_t kEntriesPerSlab = 64;
+
+  // Open-addressing table (linear probing, backward-shift deletion):
+  // maps a block address to an index into the entry slabs. The table
+  // holds only 12-byte slots, so growth is cheap and probes stay in a
+  // few cache lines; Entry addresses are slab-stable across growth.
+  struct TableSlot {
+    sim::Addr key = 0;
+    std::uint32_t idx = kNil;  // kNil = vacant slot
+  };
+  std::vector<TableSlot> table_;
+  std::size_t table_count_ = 0;
+  std::vector<std::unique_ptr<Entry[]>> slabs_;
+  std::uint32_t entry_free_ = kNil;   // head of the intrusive free list
+  std::uint32_t entries_alloced_ = 0;
+
+  std::vector<WaitNode> wait_nodes_;  // index-addressed; grows, never shrinks
+  std::uint32_t wait_free_ = kNil;
+
+  std::vector<PutWave> put_waves_;
+  std::uint32_t put_wave_free_ = kNil;
+  std::vector<sim::NodeId> put_nodes_;  // scratch target list, reused per put
+
   DirStats stats_;
 };
 

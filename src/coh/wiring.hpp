@@ -10,12 +10,14 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/types.hpp"
 
 namespace amo::coh {
@@ -47,9 +49,10 @@ class Wiring {
   [[nodiscard]] std::uint32_t cpus_per_node() const { return cpus_per_node_; }
 
   /// Delivers `fn` at node `to`, travelling from node `from`. Chooses the
-  /// network or the hub-local path automatically.
+  /// network or the hub-local path automatically. `fn` may hold move-only
+  /// captures; the local path moves it straight into the event queue.
   void post(sim::NodeId from, sim::NodeId to, net::MsgClass cls,
-            std::uint32_t bytes, std::function<void()> fn) {
+            std::uint32_t bytes, sim::InlineFn fn) {
     if (from == to) {
       ++local_.messages;
       local_.bytes += bytes;
@@ -59,6 +62,9 @@ class Wiring {
     // Remote path pays the CPU<->hub system-bus crossing on both ends
     // (Table 1's 16B/8B system bus). Injection is delayed, so network
     // link reservations still happen in event-time order (FIFO holds).
+    // The wrapper closures carry an InlineFn (larger than the inline
+    // buffer), so each remote hop's staging event takes the boxed path —
+    // one allocation per crossing, same shape std::function had.
     engine_.schedule(bus_cycles_, [this, from, to, cls, bytes,
                                    fn = std::move(fn)]() mutable {
       network_.send(net::Packet{
@@ -70,28 +76,32 @@ class Wiring {
   }
 
   /// Word-update fan-out from `from` to a set of nodes (the AMO "put"
-  /// wave). Uses hardware multicast when configured.
+  /// wave). Uses hardware multicast when configured. `deliver` runs once
+  /// per target node; it is shared across local and remote deliveries via
+  /// one refcounted control block.
   void post_update(sim::NodeId from, std::span<const sim::NodeId> nodes,
                    std::uint32_t bytes,
-                   const std::function<void(sim::NodeId)>& deliver) {
+                   sim::InlineFnT<sim::NodeId> deliver) {
+    auto shared =
+        std::make_shared<sim::InlineFnT<sim::NodeId>>(std::move(deliver));
     // Local target (if any) is delivered at hub latency.
     for (sim::NodeId n : nodes) {
       if (n == from) {
         ++local_.messages;
         local_.bytes += bytes;
-        engine_.schedule(local_cycles_, [deliver, n] { deliver(n); });
+        engine_.schedule(local_cycles_, [shared, n] { (*shared)(n); });
       }
     }
     // Remote targets pay the same bus crossings as post(): updates and
     // data replies MUST share one injection pipeline, or an update could
     // overtake an in-flight line fill and be dropped at the cache.
     std::vector<sim::NodeId> remote(nodes.begin(), nodes.end());
-    engine_.schedule(bus_cycles_, [this, from, bytes, deliver,
+    engine_.schedule(bus_cycles_, [this, from, bytes, shared,
                                    remote = std::move(remote)] {
       network_.multicast(from, remote, net::MsgClass::kUpdate, bytes,
-                         [this, deliver](sim::NodeId n) {
+                         [this, shared](sim::NodeId n) {
                            engine_.schedule(bus_cycles_,
-                                            [deliver, n] { deliver(n); });
+                                            [shared, n] { (*shared)(n); });
                          });
     });
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -35,8 +36,8 @@ class Backing {
   }
 
   /// Overwrites a whole line (cache writeback).
-  void write_line(sim::Addr block, const std::vector<std::uint64_t>& data) {
-    slot(block) = data;
+  void write_line(sim::Addr block, std::span<const std::uint64_t> data) {
+    slot(block).assign(data.begin(), data.end());
   }
 
   /// Reads one 8-byte word at an aligned address.

@@ -17,6 +17,7 @@ const char* to_string(LineState s) {
 Cache::Cache(const CacheGeometry& geometry) : geom_(geometry) {
   assert(geom_.size_bytes % (geom_.ways * geom_.line_bytes) == 0);
   assert((geom_.line_bytes & (geom_.line_bytes - 1)) == 0);
+  assert(geom_.line_bytes / 8 <= LineBuf::kMaxWords);
   lines_.resize(static_cast<std::size_t>(geom_.num_sets()) * geom_.ways);
 }
 
@@ -76,7 +77,7 @@ std::optional<Cache::Victim> Cache::insert(
     }
     assert(lru != nullptr && "every way pinned: too many concurrent MSHRs");
     slot = lru;
-    victim.emplace(Victim{slot->block, slot->state, std::move(slot->data)});
+    victim.emplace(Victim{slot->block, slot->state, LineBuf(slot->data)});
     ++stats_.evictions;
     if (slot->state == LineState::kModified) ++stats_.dirty_evictions;
   }
@@ -92,7 +93,7 @@ std::optional<Cache::Victim> Cache::invalidate(sim::Addr addr) {
   Line* line = find(addr, /*touch=*/false);
   if (line == nullptr) return std::nullopt;
   ++stats_.invals_received;
-  Victim v{line->block, line->state, std::move(line->data)};
+  Victim v{line->block, line->state, LineBuf(line->data)};
   line->state = LineState::kInvalid;
   line->pinned = false;
   line->data.clear();

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "mem/line_buf.hpp"
 #include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
@@ -50,11 +51,12 @@ class Cache {
     std::vector<std::uint64_t> data;  // words_per_line entries
   };
 
-  /// A line pushed out to make room.
+  /// A line pushed out to make room. The payload rides in a fixed inline
+  /// buffer so eviction/writeback never heap-allocates.
   struct Victim {
     sim::Addr block = 0;
     LineState state = LineState::kInvalid;
-    std::vector<std::uint64_t> data;
+    LineBuf data;
   };
 
   explicit Cache(const CacheGeometry& geometry);

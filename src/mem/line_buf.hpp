@@ -1,0 +1,52 @@
+// Fixed-capacity cache-line payload, passed by span on the message path.
+//
+// Line data used to travel between agents as std::vector<std::uint64_t>
+// copies — one heap allocation per writeback, recall response, and data
+// reply. A LineBuf is a plain value (inline word array + count): copying
+// it is a memcpy, and handing it to a callee is a std::span view, so the
+// coherence message path carries line payloads with zero allocation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+namespace amo::mem {
+
+struct LineBuf {
+  /// Largest line the machine model configures (256-byte lines = 32
+  /// words); Backing/Cache geometries assert they fit.
+  static constexpr std::uint32_t kMaxWords = 32;
+
+  std::array<std::uint64_t, kMaxWords> words;
+  std::uint32_t count = 0;
+
+  LineBuf() = default;
+  explicit LineBuf(std::span<const std::uint64_t> data) { assign(data); }
+
+  void assign(std::span<const std::uint64_t> data) {
+    assert(data.size() <= kMaxWords);
+    count = static_cast<std::uint32_t>(data.size());
+    for (std::uint32_t i = 0; i < count; ++i) words[i] = data[i];
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> view() const {
+    return {words.data(), count};
+  }
+  // Implicit view: LineBuf arguments bind directly to span parameters.
+  operator std::span<const std::uint64_t>() const { return view(); }
+
+  [[nodiscard]] std::uint32_t size() const { return count; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] std::uint64_t operator[](std::uint32_t i) const {
+    assert(i < count);
+    return words[i];
+  }
+  std::uint64_t& operator[](std::uint32_t i) {
+    assert(i < count);
+    return words[i];
+  }
+};
+
+}  // namespace amo::mem

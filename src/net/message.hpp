@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/inline_fn.hpp"
 #include "sim/types.hpp"
 
 namespace amo::net {
@@ -31,12 +31,17 @@ enum class MsgClass : std::uint8_t {
 
 /// One network packet. `size_bytes` includes the header; the fabric
 /// enforces the configured minimum packet size.
+///
+/// The delivery closure is a sim::InlineFn: captures up to 48 bytes live
+/// in the packet itself (and move straight into the event-queue slot at
+/// injection — zero heap on the unicast send path); larger captures take
+/// the boxed fallback. Packets are therefore move-only, like events.
 struct Packet {
   sim::NodeId src = sim::kInvalidNode;
   sim::NodeId dst = sim::kInvalidNode;
   MsgClass cls = MsgClass::kRequest;
   std::uint32_t size_bytes = 0;
-  std::function<void()> on_deliver;  // runs at the destination
+  sim::InlineFn on_deliver;  // runs at the destination
 };
 
 }  // namespace amo::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace amo::net {
@@ -44,7 +45,8 @@ Network::Network(sim::Engine& engine, const NetConfig& config,
       config_(config),
       topo_(config.num_nodes, config.radix),
       tracer_(tracer),
-      link_busy_until_(topo_.num_links(), 0) {}
+      link_busy_until_(topo_.num_links(), 0),
+      charged_gen_(topo_.num_links(), 0) {}
 
 sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
   const std::uint32_t bytes = std::max(size_bytes, config_.min_packet_bytes);
@@ -53,15 +55,18 @@ sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
          config_.link_cycles_per_16b;
 }
 
-sim::Cycle Network::reserve_path(sim::NodeId src, sim::NodeId dst,
-                                 std::uint32_t size_bytes,
-                                 std::vector<std::uint8_t>* charged) {
+sim::Cycle Network::reserve_path(RouteWalker& walk, std::uint32_t size_bytes,
+                                 sim::Cycle now, bool dedup_links) {
   const sim::Cycle ser = serialization_cycles(size_bytes);
-  sim::Cycle t = engine_.now();
-  for (const LinkRef& link : topo_.route(src, dst)) {
+  sim::Cycle t = now;
+  LinkRef link;
+  while (walk.next(link)) {
     const std::uint32_t idx = topo_.link_index(link);
-    const bool charge = (charged == nullptr) || !(*charged)[idx];
-    if (charged) (*charged)[idx] = 1;
+    bool charge = true;
+    if (dedup_links) {
+      charge = charged_gen_[idx] != multicast_gen_;
+      charged_gen_[idx] = multicast_gen_;
+    }
     sim::Cycle depart = t;
     if (charge) {
       depart = std::max(t, link_busy_until_[idx]);
@@ -72,53 +77,67 @@ sim::Cycle Network::reserve_path(sim::NodeId src, sim::NodeId dst,
   return t + ser;  // full packet received at destination
 }
 
-void Network::account(const Packet& p, sim::Cycle latency,
-                      std::uint32_t hops) {
-  const std::uint32_t bytes = std::max(p.size_bytes, config_.min_packet_bytes);
+void Network::account(MsgClass cls, std::uint32_t size_bytes,
+                      sim::Cycle latency, std::uint32_t hops) {
+  const std::uint32_t bytes = std::max(size_bytes, config_.min_packet_bytes);
   ++stats_.packets;
   stats_.bytes += bytes;
   stats_.hops += hops;
-  stats_.packets_by_class[static_cast<std::size_t>(p.cls)] += 1;
-  stats_.bytes_by_class[static_cast<std::size_t>(p.cls)] += bytes;
+  stats_.packets_by_class[static_cast<std::size_t>(cls)] += 1;
+  stats_.bytes_by_class[static_cast<std::size_t>(cls)] += bytes;
   stats_.latency.add(latency);
 }
 
 void Network::send(Packet p) {
   assert(p.src != p.dst && "local traffic must bypass the network");
   assert(p.on_deliver && "packet without a delivery action");
-  const sim::Cycle arrival = reserve_path(p.src, p.dst, p.size_bytes, nullptr);
-  const sim::Cycle latency = arrival - engine_.now();
-  account(p, latency, topo_.hop_count(p.src, p.dst));
+  const sim::Cycle now = engine_.now();
+  RouteWalker walk(topo_, p.src, p.dst);
+  const sim::Cycle arrival =
+      reserve_path(walk, p.size_bytes, now, /*dedup_links=*/false);
+  assert(arrival >= now && "delivery scheduled before injection");
+  const sim::Cycle latency = arrival - now;
+  account(p.cls, p.size_bytes, latency, walk.hop_count());
   if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
-    tracer_->log(engine_.now(), sim::TraceCat::kNet,
-                 "net: %u -> %u %s %uB lat=%llu", p.src, p.dst,
-                 to_string(p.cls), p.size_bytes,
+    tracer_->log(now, sim::TraceCat::kNet, "net: %u -> %u %s %uB lat=%llu",
+                 p.src, p.dst, to_string(p.cls), p.size_bytes,
                  static_cast<unsigned long long>(latency));
   }
-  engine_.schedule_at(arrival, [fn = std::move(p.on_deliver)] { fn(); });
+  // The delivery closure moves straight into the event-queue slot: no
+  // wrapper lambda, no type-erasure re-boxing, zero heap for captures
+  // that fit the InlineFn buffer.
+  engine_.schedule_at(arrival, std::move(p.on_deliver));
 }
 
 void Network::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
                         MsgClass cls, std::uint32_t size_bytes,
-                        const std::function<void(sim::NodeId)>& deliver) {
+                        sim::InlineFnT<sim::NodeId> deliver) {
+  // One refcounted control block shares the (move-only, possibly
+  // stateful) deliver closure across every destination's event.
+  auto shared =
+      std::make_shared<sim::InlineFnT<sim::NodeId>>(std::move(deliver));
   if (!config_.hardware_multicast) {
     // Serialized unicasts: the sending hub injects one packet per target.
     for (sim::NodeId dst : dsts) {
       if (dst == src) continue;
-      send(Packet{src, dst, cls, size_bytes, [deliver, dst] { deliver(dst); }});
+      send(Packet{src, dst, cls, size_bytes,
+                  [shared, dst] { (*shared)(dst); }});
     }
     return;
   }
   // Hardware multicast: replicate in the routers; each tree link carries
-  // the packet once.
-  std::vector<std::uint8_t> charged(topo_.num_links(), 0);
+  // the packet once per wave (generation-stamped dedup, no scratch
+  // bitmap allocation).
+  ++multicast_gen_;
+  const sim::Cycle now = engine_.now();
   for (sim::NodeId dst : dsts) {
     if (dst == src) continue;
-    const sim::Cycle arrival = reserve_path(src, dst, size_bytes, &charged);
-    const sim::Cycle latency = arrival - engine_.now();
-    Packet p{src, dst, cls, size_bytes, nullptr};
-    account(p, latency, topo_.hop_count(src, dst));
-    engine_.schedule_at(arrival, [deliver, dst] { deliver(dst); });
+    RouteWalker walk(topo_, src, dst);
+    const sim::Cycle arrival =
+        reserve_path(walk, size_bytes, now, /*dedup_links=*/true);
+    assert(arrival >= now && "delivery scheduled before injection");
+    account(cls, size_bytes, arrival - now, walk.hop_count());
+    engine_.schedule_at(arrival, [shared, dst] { (*shared)(dst); });
   }
 }
 

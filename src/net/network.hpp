@@ -15,13 +15,13 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/stats.hpp"
 #include "sim/stats_registry.hpp"
 #include "sim/trace.hpp"
@@ -63,9 +63,13 @@ class Network {
   /// multicast this is a serialized sequence of unicasts from `src`
   /// (the paper's default assumption); with `hardware_multicast` the
   /// packet is replicated in the routers, charging shared path links once.
+  /// `deliver` is invoked once per (remote) destination; it is shared
+  /// across the wave through one refcounted control block, so move-only
+  /// captures are fine and the wave costs one allocation, not one per
+  /// destination.
   void multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
                  MsgClass cls, std::uint32_t size_bytes,
-                 const std::function<void(sim::NodeId)>& deliver);
+                 sim::InlineFnT<sim::NodeId> deliver);
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
@@ -82,20 +86,27 @@ class Network {
   [[nodiscard]] sim::Cycle serialization_cycles(std::uint32_t size_bytes) const;
 
  private:
-  // Reserves the path and returns the delivery time. `charged` (optional)
-  // records link indices already reserved by this multicast so shared
-  // links are charged once.
-  sim::Cycle reserve_path(sim::NodeId src, sim::NodeId dst,
-                          std::uint32_t size_bytes,
-                          std::vector<std::uint8_t>* charged);
+  // Drains `walk`, reserving every link on its path, and returns the
+  // delivery time. When `dedup_links` is set (hardware multicast), links
+  // already stamped with the current wave generation are traversed
+  // without being charged again.
+  sim::Cycle reserve_path(RouteWalker& walk, std::uint32_t size_bytes,
+                          sim::Cycle now, bool dedup_links);
 
-  void account(const Packet& p, sim::Cycle latency, std::uint32_t hops);
+  void account(MsgClass cls, std::uint32_t size_bytes, sim::Cycle latency,
+               std::uint32_t hops);
 
   sim::Engine& engine_;
   NetConfig config_;
   Topology topo_;
   sim::Tracer* tracer_;
   std::vector<sim::Cycle> link_busy_until_;
+  // Multicast link-dedup scratch: `charged_gen_[link] == multicast_gen_`
+  // means this wave already reserved the link. Bumping the generation
+  // invalidates the whole array in O(1), so no per-wave bitmap allocation
+  // or clearing.
+  std::vector<std::uint64_t> charged_gen_;
+  std::uint64_t multicast_gen_ = 0;
   NetStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "net/topology.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace amo::net {
@@ -16,6 +17,9 @@ Topology::Topology(std::uint32_t num_nodes, std::uint32_t radix)
     : num_nodes_(num_nodes), radix_(radix) {
   assert(num_nodes >= 1);
   assert(radix >= 2);
+  if (std::has_single_bit(radix)) {
+    radix_shift_ = static_cast<std::uint32_t>(std::countr_zero(radix));
+  }
   entities_per_level_.push_back(num_nodes);
   // Add router levels until a single router covers everything. A one-node
   // system gets no routers; a system that fits under one leaf router gets
@@ -37,6 +41,35 @@ Topology::Topology(std::uint32_t num_nodes, std::uint32_t radix)
     base += entities_per_level_[k];
   }
   num_links_ = base;
+}
+
+RouteWalker::RouteWalker(const Topology& topo, sim::NodeId src,
+                         sim::NodeId dst)
+    : radix_(topo.radix()), shift_(topo.radix_shift()), up_entity_(src) {
+  assert(src != dst);
+  assert(src < topo.num_nodes() && dst < topo.num_nodes());
+  // One pass up the tree: find the common ancestor level and record dst's
+  // ancestor at every level below it (chain_[0] = dst itself).
+  std::uint32_t ea = src;
+  std::uint32_t eb = dst;
+  if (shift_ != 0) {
+    while (ea != eb) {
+      assert(common_ < kMaxLevels);
+      chain_[common_] = eb;
+      ea >>= shift_;
+      eb >>= shift_;
+      ++common_;
+    }
+  } else {
+    while (ea != eb) {
+      assert(common_ < kMaxLevels);
+      chain_[common_] = eb;
+      ea /= radix_;
+      eb /= radix_;
+      ++common_;
+    }
+  }
+  down_ = common_;
 }
 
 std::uint32_t Topology::common_level(sim::NodeId a, sim::NodeId b) const {
@@ -79,12 +112,6 @@ std::vector<LinkRef> Topology::route(sim::NodeId src, sim::NodeId dst) const {
     path.push_back(LinkRef{k, chain[k], /*up=*/false});
   }
   return path;
-}
-
-std::uint32_t Topology::link_index(const LinkRef& l) const {
-  assert(l.level < up_link_base_.size());
-  assert(l.child < entities_per_level_[l.level]);
-  return (l.up ? up_link_base_[l.level] : down_link_base_[l.level]) + l.child;
 }
 
 }  // namespace amo::net

@@ -4,6 +4,7 @@
 // "down" unidirectional link.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,54 @@ struct LinkRef {
   bool up;              // true: child -> parent, false: parent -> child
 };
 
+class Topology;
+
+/// Allocation-free route iterator: emits the same link sequence as
+/// Topology::route(src, dst) without materializing a vector. A single
+/// constructor pass divides both endpoints up the tree, recording dst's
+/// ancestor chain in a fixed inline array (entity indices at least halve
+/// per level, so 32 slots cover any 32-bit node count); iteration then
+/// walks src's up-links and replays the chain top-down. The common
+/// ancestor level (and hence hop count) falls out of the same pass, so
+/// callers never re-walk the tree.
+class RouteWalker {
+ public:
+  static constexpr std::uint32_t kMaxLevels = 32;
+
+  RouteWalker(const Topology& topo, sim::NodeId src, sim::NodeId dst);
+
+  /// Level of the lowest common ancestor router (>= 1).
+  [[nodiscard]] std::uint32_t common_level() const { return common_; }
+
+  /// Total links on the path (up-phase plus down-phase).
+  [[nodiscard]] std::uint32_t hop_count() const { return 2 * common_; }
+
+  /// Emits the next link of the path into `out`; false once exhausted.
+  bool next(LinkRef& out) {
+    if (up_ < common_) {
+      out = LinkRef{up_, up_entity_, /*up=*/true};
+      up_entity_ = shift_ != 0 ? up_entity_ >> shift_ : up_entity_ / radix_;
+      ++up_;
+      return true;
+    }
+    if (down_ > 0) {
+      --down_;
+      out = LinkRef{down_, chain_[down_], /*up=*/false};
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::uint32_t radix_;
+  std::uint32_t shift_;          // log2(radix) when a power of two, else 0
+  std::uint32_t common_ = 0;     // lowest common ancestor level
+  std::uint32_t up_ = 0;         // next up-phase level to emit
+  std::uint32_t down_ = 0;       // down-phase levels remaining
+  std::uint32_t up_entity_;      // src's ancestor at level `up_`
+  std::uint32_t chain_[kMaxLevels];  // dst's ancestor per level (0 = dst)
+};
+
 class Topology {
  public:
   /// Builds a fat tree over `num_nodes` nodes with router radix `radix`.
@@ -25,6 +74,16 @@ class Topology {
 
   [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
   [[nodiscard]] std::uint32_t radix() const { return radix_; }
+
+  /// log2(radix) when the radix is a power of two (the common
+  /// configuration), else 0. Lets routing replace integer division with a
+  /// shift on the per-packet path.
+  [[nodiscard]] std::uint32_t radix_shift() const { return radix_shift_; }
+
+  /// Parent entity index one level up: e / radix, via shift when possible.
+  [[nodiscard]] std::uint32_t parent_of(std::uint32_t e) const {
+    return radix_shift_ != 0 ? e >> radix_shift_ : e / radix_;
+  }
 
   /// Number of router levels above the nodes (0 for a single-node system).
   [[nodiscard]] std::uint32_t levels() const {
@@ -40,12 +99,21 @@ class Topology {
   [[nodiscard]] std::uint32_t hop_count(sim::NodeId a, sim::NodeId b) const;
 
   /// The ordered list of links a packet from `src` to `dst` traverses.
-  /// Precondition: src != dst.
+  /// Precondition: src != dst. Reference implementation: the fabric's hot
+  /// path uses RouteWalker instead (same sequence, no allocation); this
+  /// stays as the oracle the walker is property-tested against and for
+  /// offline tooling.
   [[nodiscard]] std::vector<LinkRef> route(sim::NodeId src,
                                            sim::NodeId dst) const;
 
-  /// Flat index of a link (for the fabric's link-state arrays).
-  [[nodiscard]] std::uint32_t link_index(const LinkRef& l) const;
+  /// Flat index of a link (for the fabric's link-state arrays). Inline:
+  /// the fabric calls this once per hop per packet.
+  [[nodiscard]] std::uint32_t link_index(const LinkRef& l) const {
+    assert(l.level < up_link_base_.size());
+    assert(l.child < entities_per_level_[l.level]);
+    return (l.up ? up_link_base_[l.level] : down_link_base_[l.level]) +
+           l.child;
+  }
 
   /// Total number of unidirectional links.
   [[nodiscard]] std::uint32_t num_links() const { return num_links_; }
@@ -56,6 +124,7 @@ class Topology {
 
   std::uint32_t num_nodes_;
   std::uint32_t radix_;
+  std::uint32_t radix_shift_ = 0;  // log2(radix) if radix is a power of two
   std::vector<std::uint32_t> entities_per_level_;  // [0]=nodes, [k]=routers
   std::vector<std::uint32_t> up_link_base_;   // flat index base per level
   std::vector<std::uint32_t> down_link_base_;

@@ -58,18 +58,61 @@ void pool_release(std::vector<std::unique_ptr<std::byte[]>>& slabs) {
 
 }  // namespace
 
-EventQueue::EventQueue() { buckets_.resize(kWindowCycles); }
+// Process-wide recycling of span vector capacity, mirroring the chunk slab
+// pool: without it, every engine a sweep constructs re-grows (and
+// re-faults) 256 vectors from scratch, which dominates short simulations.
+class EventQueue::SpanVecPool {
+ public:
+  static constexpr std::size_t kMaxPooledVecs = 2048;  // ~8 engines' worth
+  std::mutex mu;
+  std::vector<std::vector<SpanEvent>> vecs;
+};
+
+EventQueue::SpanVecPool& EventQueue::span_vec_pool() {
+  static SpanVecPool pool;
+  return pool;
+}
+
+void EventQueue::acquire_span_vecs(
+    std::array<std::vector<SpanEvent>, kSpans>* out) {
+  SpanVecPool& pool = span_vec_pool();
+  const std::lock_guard<std::mutex> lock(pool.mu);
+  for (auto& v : *out) {
+    if (pool.vecs.empty()) break;
+    v = std::move(pool.vecs.back());
+    pool.vecs.pop_back();
+  }
+}
+
+void EventQueue::release_span_vecs(
+    std::array<std::vector<SpanEvent>, kSpans>* in) {
+  SpanVecPool& pool = span_vec_pool();
+  const std::lock_guard<std::mutex> lock(pool.mu);
+  for (auto& v : *in) {
+    if (pool.vecs.size() >= SpanVecPool::kMaxPooledVecs) break;
+    if (v.capacity() == 0) continue;
+    v.clear();  // destroys any still-pending callbacks
+    pool.vecs.push_back(std::move(v));
+  }
+}
+
+EventQueue::EventQueue() {
+  buckets_.resize(kWindowCycles);
+  acquire_span_vecs(&spans_);
+}
 
 EventQueue::~EventQueue() {
   // Chunks live inside the slabs; only the pending callbacks they hold need
-  // destruction. Overflow entries clean themselves up; slabs go back to
-  // the process-wide pool so the next queue starts with warm pages.
+  // destruction. Span and overflow entries clean themselves up; slabs and
+  // span vector capacity go back to the process-wide pools so the next
+  // queue starts with warm pages.
   for (Bucket& b : buckets_) {
     for (Chunk* c = b.head; c != nullptr; c = c->next) {
       for (std::uint32_t i = c->begin; i < c->end; ++i) c->slot(i)->~InlineFn();
     }
   }
   pool_release(slabs_);
+  release_span_vecs(&spans_);
 }
 
 EventQueue::Chunk* EventQueue::alloc_chunk() {
@@ -105,16 +148,48 @@ void EventQueue::occ_clear(Cycle when) {
   occ_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
 }
 
-void EventQueue::push_overflow(Entry e) {
-  overflow_.push_back(std::move(e));
+void EventQueue::push_overflow(Cycle when, Callback fn) {
+  std::uint32_t slot;
+  if (!oflow_free_.empty()) {
+    slot = oflow_free_.back();
+    oflow_free_.pop_back();
+    oflow_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(oflow_slots_.size());
+    oflow_slots_.push_back(std::move(fn));
+  }
+  overflow_.push_back(OflowKey{when, order_++, slot});
   std::push_heap(overflow_.begin(), overflow_.end(), Later{});
 }
 
-EventQueue::Entry EventQueue::pop_overflow() {
+Cycle EventQueue::pop_overflow(Callback* fn) {
   std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
-  Entry e = std::move(overflow_.back());
+  const OflowKey k = overflow_.back();
   overflow_.pop_back();
-  return e;
+  *fn = std::move(oflow_slots_[k.slot]);
+  oflow_free_.push_back(k.slot);
+  return k.when;
+}
+
+void EventQueue::span_append(Cycle when, Callback fn) {
+  const std::size_t slot =
+      static_cast<std::size_t>((when >> kWindowBits) & kSpanMask);
+  spans_[slot].push_back(SpanEvent{when, std::move(fn)});
+  span_occ_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+  ++span_events_;
+}
+
+void EventQueue::migrate_overflow() {
+  const Cycle h = horizon();
+  while (!overflow_.empty() && overflow_.front().when < h) {
+    Callback fn;
+    const Cycle w = pop_overflow(&fn);
+    if (w < window_end()) {
+      bucket_append(w, std::move(fn));
+    } else {
+      span_append(w, std::move(fn));
+    }
+  }
 }
 
 void EventQueue::bucket_append(Cycle when, Callback fn) {
@@ -150,8 +225,10 @@ void EventQueue::push(Cycle when, Callback fn) {
   ++seq_;
   if (when < window_end()) {
     bucket_append(when, std::move(fn));
+  } else if (when < horizon()) {
+    span_append(when, std::move(fn));
   } else {
-    push_overflow(Entry{when, order_++, std::move(fn)});
+    push_overflow(when, std::move(fn));
   }
   ++size_;
 }
@@ -213,24 +290,80 @@ void EventQueue::settle() {
     next_time_ = found;
     return;
   }
-  // Window drained: advance it to the overflow's earliest cycle and replay
-  // the now-in-window entries. Heap order is (when, seq), so same-cycle
-  // entries re-enter their bucket in FIFO order.
+  if (span_events_ > 0) {
+    // Window drained: advance to the first occupied span (heap events are
+    // all at or past the horizon, so the earliest span is globally
+    // earliest) and distribute it. List order is push order, so same-cycle
+    // events re-enter their bucket in FIFO order.
+    const Cycle wbase = base_ >> kWindowBits;
+    for (Cycle s = 1; s <= kSpans; ++s) {
+      const std::size_t slot = static_cast<std::size_t>((wbase + s) & kSpanMask);
+      if (((span_occ_[slot / 64] >> (slot % 64)) & 1) == 0) continue;
+      base_ = (wbase + s) << kWindowBits;
+      std::vector<SpanEvent>& v = spans_[slot];
+      for (SpanEvent& ev : v) bucket_append(ev.when, std::move(ev.fn));
+      span_events_ -= v.size();
+      v.clear();  // keeps capacity: steady-state spans never reallocate
+      span_occ_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+      migrate_overflow();
+      Cycle found = 0;
+      const bool ok = scan_occupancy(base_, &found);
+      assert(ok && "distributed span produced no bucketed events");
+      (void)ok;
+      next_time_ = found;
+      return;
+    }
+    assert(false && "span_events_ > 0 but no occupied span");
+  }
+  // Spans empty too: advance to the overflow's earliest cycle; migration
+  // replays now-covered entries into buckets and spans. Heap order is
+  // (when, seq), so same-cycle entries re-enter in FIFO order.
   assert(!overflow_.empty() && "size_ > 0 but no events anywhere");
   base_ = overflow_.front().when & ~kWindowMask;
   next_time_ = overflow_.front().when;
-  while (!overflow_.empty() && overflow_.front().when < window_end()) {
-    Entry e = pop_overflow();
-    bucket_append(e.when, std::move(e.fn));
-  }
+  migrate_overflow();
+}
+
+void EventQueue::spill_span(std::size_t slot) {
+  std::vector<SpanEvent>& v = spans_[slot];
+  if (v.empty()) return;
+  for (SpanEvent& ev : v) push_overflow(ev.when, std::move(ev.fn));
+  span_events_ -= v.size();
+  v.clear();
+  span_occ_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
 }
 
 void EventQueue::rebase(Cycle when) {
-  // Spill every bucketed event back to the overflow heap, then re-anchor
-  // the window low enough for `when`. Fresh `order_` values are assigned in
-  // bucket FIFO order: buckets and overflow never share a cycle, so the
-  // relative order of same-cycle events is preserved and future pushes at
-  // those cycles still sort after them.
+  // Re-anchor the window low enough for `when`. Buckets and span slots are
+  // indexed by *absolute* cycle, so a backstep does not move events between
+  // slots — it only shrinks the horizon. Two repairs restore the tier
+  // invariants, each preserving per-cycle FIFO order (spilled entries take
+  // fresh `order_` values in list order; no spilled cycle coexists with an
+  // older heap entry, since the pre-rebase heap holds strictly later
+  // cycles):
+  //
+  //   1. The `k` span slots whose contents lie beyond the re-anchored
+  //      horizon (windows [new+kSpans+1, old+kSpans+1) alias the slots that
+  //      must now cover nearer windows) spill to the heap.
+  //   2. The old window's buckets — now one of the `k` nearest spans — move
+  //      into their own span slot, just vacated by step 1.
+  //
+  // This is the common shape: a window-advance in settle() outruns the
+  // just-popped callback, whose follow-on push lands a few cycles behind
+  // the new base. Backstep cost is O(events in the touched slots), not
+  // O(total pending). Backsteps of kSpans windows or more (standalone use
+  // pushing into the deep past) spill every tier instead.
+  const Cycle old_wbase = base_ >> kWindowBits;
+  const Cycle new_base = when & ~kWindowMask;
+  const Cycle new_wbase = new_base >> kWindowBits;
+  const bool full_spill = old_wbase - new_wbase >= kSpans;
+  if (full_spill) {
+    for (std::size_t slot = 0; slot < kSpans; ++slot) spill_span(slot);
+  } else {
+    for (Cycle w = new_wbase + 1; w <= old_wbase; ++w) {
+      spill_span(static_cast<std::size_t>(w & kSpanMask));
+    }
+  }
   Cycle cursor = next_time_;
   while (in_window_ > 0) {
     Cycle found = 0;
@@ -241,7 +374,11 @@ void EventQueue::rebase(Cycle when) {
     for (Chunk* c = b.head; c != nullptr;) {
       for (std::uint32_t i = c->begin; i < c->end; ++i) {
         InlineFn* s = c->slot(i);
-        push_overflow(Entry{found, order_++, std::move(*s)});
+        if (full_spill) {
+          push_overflow(found, std::move(*s));
+        } else {
+          span_append(found, std::move(*s));
+        }
         s->~InlineFn();
         --in_window_;
       }
@@ -253,12 +390,11 @@ void EventQueue::rebase(Cycle when) {
     occ_clear(found);
     cursor = found;
   }
-  base_ = when & ~kWindowMask;
-  // Pull back whatever now fits in the re-anchored window.
-  while (!overflow_.empty() && overflow_.front().when < window_end()) {
-    Entry e = pop_overflow();
-    bucket_append(e.when, std::move(e.fn));
-  }
+  base_ = new_base;
+  // On a full spill the heap now holds near-future entries; pull back
+  // whatever fits under the re-anchored horizon. The partial path never
+  // breaks the heap's beyond-horizon invariant, so it skips this.
+  if (full_spill) migrate_overflow();
 }
 
 void EventQueue::register_stats(StatsRegistry& reg,

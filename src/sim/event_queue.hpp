@@ -4,19 +4,23 @@
 // order, which the rest of the simulator relies on for determinism and for
 // per-(src,dst) message ordering in the network model.
 //
-// Layout: a two-level ladder queue. The near future — a kWindowCycles-wide
-// window of cycles aligned on a window boundary — is an array of per-cycle
-// FIFO buckets plus an occupancy bitmap; push and pop there are O(1).
-// Bucket storage is chunked: fixed-size chunks of InlineFn slots carved
-// from slab allocations and recycled through a free list, so steady-state
-// churn performs no heap allocation and no growth copies. Events beyond
-// the window (long timeouts, far-off timers) go to a binary-heap overflow
-// ordered by (cycle, push order). When the window drains, it advances to
-// the overflow's earliest cycle and the overflow's now-in-window entries
-// are replayed into buckets in push order, preserving exact FIFO within
-// every cycle across the bucket/overflow boundary.
+// Layout: a three-level ladder queue. The near future — a
+// kWindowCycles-wide window of cycles aligned on a window boundary — is an
+// array of per-cycle FIFO buckets plus an occupancy bitmap; push and pop
+// there are O(1). Bucket storage is chunked: fixed-size chunks of InlineFn
+// slots carved from slab allocations and recycled through a free list, so
+// steady-state churn performs no heap allocation and no growth copies.
+// Events beyond the window land in a middle tier of kSpans coarse spans
+// (one window of cycles each, held as unsorted per-span FIFO vectors —
+// O(1) append, no comparisons); when the window drains it advances to the
+// next occupied span and distributes that span's events into buckets in
+// push order. Only events beyond the span horizon (kSpans windows out:
+// long watchdog timeouts) go to a binary-heap overflow ordered by
+// (cycle, push order); heap entries migrate into spans as the horizon
+// advances. FIFO within every cycle is exact across all three tiers.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -72,7 +76,17 @@ class EventQueue {
   /// long watchdog timeouts take the overflow path.
   static constexpr Cycle kWindowCycles = 1024;
   static constexpr Cycle kWindowMask = kWindowCycles - 1;
+  static constexpr int kWindowBits = 10;
+  static_assert(kWindowCycles == Cycle{1} << kWindowBits);
   static constexpr std::size_t kOccWords = kWindowCycles / 64;
+
+  /// Middle-tier spans: each covers one window-width of cycles beyond the
+  /// current window, so barrier storms that reserve links hundreds of
+  /// thousands of cycles ahead stay on O(1) appends instead of heap
+  /// sifts. 256 spans cover ~262k cycles past the window.
+  static constexpr Cycle kSpans = 256;
+  static constexpr Cycle kSpanMask = kSpans - 1;
+  static constexpr std::size_t kSpanOccWords = kSpans / 64;
 
   /// Callbacks per storage chunk (~2 KB chunks) and chunks per slab
   /// (~66 KB slabs): large enough that slab allocation is rare, small
@@ -80,10 +94,24 @@ class EventQueue {
   static constexpr std::uint32_t kChunkSlots = 32;
   static constexpr std::size_t kChunksPerSlab = 32;
 
-  // A far-future event in the overflow heap, ordered by (when, seq).
-  struct Entry {
+  // A far-future event in the overflow heap, ordered by (when, seq). The
+  // callback itself lives in a stable side pool (`oflow_slots_`); the heap
+  // holds only this trivially-copyable key, so sift operations during
+  // push/pop move 24 bytes instead of relocating a full InlineFn per
+  // level. Barrier storms park thousands of events past the window, which
+  // made those relocations the hottest path in packet-heavy runs.
+  struct OflowKey {
     Cycle when;
     std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  // A middle-tier event. Spans need no sequence number: a span's vector
+  // is append-only in push order, and heap entries only migrate into a
+  // span while it is empty (a slot enters the horizon exactly once), so
+  // list order is FIFO order for every cycle.
+  struct SpanEvent {
+    Cycle when;
     Callback fn;
   };
 
@@ -119,11 +147,30 @@ class EventQueue {
     free_chunks_ = c;
   }
 
-  void push_overflow(Entry e);
-  Entry pop_overflow();
+  void push_overflow(Cycle when, Callback fn);
+  // Removes the earliest overflow event: moves its callback into `*fn`
+  // and returns its cycle.
+  Cycle pop_overflow(Callback* fn);
   void bucket_append(Cycle when, Callback fn);
   void occ_set(Cycle when);
   void occ_clear(Cycle when);
+
+  /// First cycle not covered by the window or any span.
+  [[nodiscard]] Cycle horizon() const {
+    return ((base_ >> kWindowBits) + kSpans + 1) << kWindowBits;
+  }
+  void span_append(Cycle when, Callback fn);
+  // Process-wide recycling of span vector capacity (mirrors the chunk
+  // slab pool): sweeps construct engines back to back, and re-growing 256
+  // vectors per engine would dominate short simulations.
+  class SpanVecPool;
+  static SpanVecPool& span_vec_pool();
+  static void acquire_span_vecs(std::array<std::vector<SpanEvent>, kSpans>* out);
+  static void release_span_vecs(std::array<std::vector<SpanEvent>, kSpans>* in);
+  /// Pulls heap events now inside the horizon into buckets/spans. Call
+  /// after every base_ advance; a span receives migrated entries only
+  /// while empty (its slot just entered the horizon), preserving FIFO.
+  void migrate_overflow();
 
   /// Re-establishes the invariant that `next_time_` names the earliest
   /// pending cycle and its bucket is populated, advancing the window from
@@ -134,13 +181,23 @@ class EventQueue {
   /// window, or returns false when the window is empty from there on.
   [[nodiscard]] bool scan_occupancy(Cycle from, Cycle* found) const;
 
-  /// Moves every bucketed event back into the overflow heap so the window
-  /// can be re-anchored below `base_` (cold path: pushes into the past).
+  /// Spills one span slot's events to the overflow heap (fresh sequence
+  /// numbers in list order keep per-cycle FIFO).
+  void spill_span(std::size_t slot);
+
+  /// Re-anchors the window below `base_` for a push into the past. Small
+  /// backsteps (< kSpans windows) only touch the aliased span slots;
+  /// deeper ones spill every tier to the heap.
   void rebase(Cycle when);
 
   std::vector<Bucket> buckets_;
   std::uint64_t occ_[kOccWords] = {};  // bit per window cycle: bucket non-empty
-  std::vector<Entry> overflow_;        // binary min-heap by (when, seq)
+  std::array<std::vector<SpanEvent>, kSpans> spans_;  // middle tier, by w&mask
+  std::uint64_t span_occ_[kSpanOccWords] = {};  // bit per span: non-empty
+  std::size_t span_events_ = 0;        // pending events held in spans
+  std::vector<OflowKey> overflow_;     // binary min-heap by (when, seq)
+  std::vector<InlineFn> oflow_slots_;  // callback storage behind the heap
+  std::vector<std::uint32_t> oflow_free_;  // vacant oflow_slots_ indices
   Cycle base_ = 0;                     // window start, kWindowCycles-aligned
   Cycle next_time_ = 0;                // earliest pending cycle (size_ > 0)
   std::size_t size_ = 0;               // total pending events

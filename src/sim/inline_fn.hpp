@@ -7,6 +7,11 @@
 // copyability requirements; InlineFn stores any nothrow-movable callable
 // of up to kInlineBytes directly in the event-queue slot and only falls
 // back to the heap for oversized or throwing-move captures.
+//
+// InlineFnT<Args...> generalizes the same storage scheme to callbacks
+// that take arguments (multicast delivery takes a NodeId, AMO replies
+// take the old word value); InlineFn is the nullary alias the event
+// queue uses.
 #pragma once
 
 #include <cstddef>
@@ -17,7 +22,8 @@
 
 namespace amo::sim {
 
-class InlineFn {
+template <typename... Args>
+class InlineFnT {
  public:
   /// Inline storage size. 48 bytes holds the biggest hot-path captures
   /// (Engine::DelayAwaiter resumes, network deliver closures: a handle
@@ -25,14 +31,15 @@ class InlineFn {
   /// a cold-path construction and may heap-allocate.
   static constexpr std::size_t kInlineBytes = 48;
 
-  InlineFn() noexcept = default;
+  InlineFnT() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
-                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
-                     // std::function at every schedule() call site
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFnT> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&,
+                                      Args...>>>
+  InlineFnT(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                      // std::function at every schedule() call site
     using Fn = std::remove_cvref_t<F>;
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
@@ -49,7 +56,7 @@ class InlineFn {
   // pointers, ints); for those — and for the heap fallback, which only
   // relocates a pointer — `relocate` is null and a branch-predictable
   // fixed-size copy of the buffer suffices.
-  InlineFn(InlineFn&& o) noexcept : ops_(o.ops_) {
+  InlineFnT(InlineFnT&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
       if (ops_->relocate != nullptr) {
         ops_->relocate(buf_, o.buf_);
@@ -60,7 +67,7 @@ class InlineFn {
     }
   }
 
-  InlineFn& operator=(InlineFn&& o) noexcept {
+  InlineFnT& operator=(InlineFnT&& o) noexcept {
     if (this != &o) {
       reset();
       ops_ = o.ops_;
@@ -76,13 +83,13 @@ class InlineFn {
     return *this;
   }
 
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
+  InlineFnT(const InlineFnT&) = delete;
+  InlineFnT& operator=(const InlineFnT&) = delete;
 
-  ~InlineFn() { reset(); }
+  ~InlineFnT() { reset(); }
 
-  void operator()() {
-    ops_->invoke(buf_);
+  void operator()(Args... args) {
+    ops_->invoke(buf_, std::forward<Args>(args)...);
   }
 
   [[nodiscard]] explicit operator bool() const noexcept {
@@ -104,7 +111,7 @@ class InlineFn {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    void (*invoke)(void* storage, Args... args);
     // Move-construct into `dst` from `src`, then destroy the source; null
     // when a raw copy of the inline buffer does the same thing.
     void (*relocate)(void* dst, void* src) noexcept;
@@ -115,7 +122,10 @@ class InlineFn {
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
-      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* s, Args... args) {
+        (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
       std::is_trivially_copyable_v<Fn>
           ? nullptr
           : +[](void* dst, void* src) noexcept {
@@ -133,7 +143,10 @@ class InlineFn {
 
   template <typename Fn>
   static constexpr Ops kHeapOps = {
-      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* s, Args... args) {
+        (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      },
       nullptr,  // relocating the owning pointer is a raw copy
       [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
       /*heap_held=*/true,
@@ -149,5 +162,7 @@ class InlineFn {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+using InlineFn = InlineFnT<>;
 
 }  // namespace amo::sim

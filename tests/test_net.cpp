@@ -231,5 +231,118 @@ TEST(Network, LatencyAccumTracksDeliveries) {
   EXPECT_GE(n.stats().latency.min(), 220u);
 }
 
+// ------------------------------------------------------------------
+// RouteWalker property tests: the walker must emit exactly the link
+// sequence of the route() oracle for every pair, on every tree shape.
+
+void ExpectWalkerMatchesOracle(const Topology& t, sim::NodeId src,
+                               sim::NodeId dst) {
+  const std::vector<LinkRef> oracle = t.route(src, dst);
+  RouteWalker walk(t, src, dst);
+  EXPECT_EQ(walk.hop_count(), oracle.size()) << src << "->" << dst;
+  EXPECT_EQ(walk.hop_count(), t.hop_count(src, dst));
+  std::size_t i = 0;
+  LinkRef l{};
+  while (walk.next(l)) {
+    ASSERT_LT(i, oracle.size()) << src << "->" << dst << " walker too long";
+    EXPECT_EQ(l.level, oracle[i].level) << src << "->" << dst << " hop " << i;
+    EXPECT_EQ(l.child, oracle[i].child) << src << "->" << dst << " hop " << i;
+    EXPECT_EQ(l.up, oracle[i].up) << src << "->" << dst << " hop " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, oracle.size()) << src << "->" << dst << " walker too short";
+  EXPECT_FALSE(walk.next(l)) << "exhausted walker emitted another link";
+}
+
+TEST(RouteWalker, MatchesOracleOnAllPairsAcrossShapes) {
+  // Shapes chosen to cover: one level, radix exactly covering the node
+  // count, non-power-of-two radix (division path instead of shifts),
+  // ragged trees (node count not a radix power), and three levels.
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {2, 2},  {2, 8},  {8, 8},   {9, 8},   {16, 4},
+      {17, 4}, {27, 3}, {64, 8},  {65, 8},  {70, 3}};
+  for (auto [nodes, radix] : shapes) {
+    Topology t(nodes, radix);
+    for (sim::NodeId a = 0; a < nodes; ++a) {
+      for (sim::NodeId b = 0; b < nodes; ++b) {
+        if (a == b) continue;
+        ExpectWalkerMatchesOracle(t, a, b);
+      }
+    }
+  }
+}
+
+TEST(RouteWalker, SingleNodeTopologyDegenerates) {
+  // A 1-node system has no routers and no links; route() has the
+  // src != dst precondition, so the only property left is shape.
+  Topology t(1, 8);
+  EXPECT_EQ(t.levels(), 0u);
+  EXPECT_EQ(t.num_links(), 0u);
+}
+
+TEST(RouteWalker, CommonLevelMatchesHalfHops) {
+  Topology t(128, 8);
+  const std::pair<sim::NodeId, sim::NodeId> pairs[] = {
+      {0, 1}, {0, 9}, {3, 70}, {127, 0}, {64, 65}};
+  for (auto [a, b] : pairs) {
+    RouteWalker walk(t, a, b);
+    EXPECT_EQ(2 * walk.common_level(), t.hop_count(a, b));
+  }
+}
+
+// ------------------------------------------------------------------
+// InlineFn delivery-closure properties on the packet path.
+
+TEST(Network, OversizedCaptureFallsBackToHeapAndDelivers) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  // 128 bytes of captured state: far beyond the inline SBO, so the
+  // closure takes the boxed fallback — it must still move intact through
+  // injection, the event queue, and delivery.
+  std::array<std::uint64_t, 16> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = 1000 + i;
+  std::uint64_t sum = 0;
+  n.send(Packet{0, 2, MsgClass::kRequest, 32, [big, &sum] {
+                  for (std::uint64_t v : big) sum += v;
+                }});
+  e.run();
+  std::uint64_t want = 0;
+  for (std::uint64_t v : big) want += v;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(Network, MoveOnlyCaptureTravelsThroughSend) {
+  sim::Engine e;
+  Network n(e, small_net(4));
+  auto payload = std::make_unique<std::uint64_t>(77);
+  std::uint64_t got = 0;
+  n.send(Packet{0, 1, MsgClass::kResponse, 32,
+                [p = std::move(payload), &got] { got = *p; }});
+  e.run();
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(Network, MoveOnlyCaptureTravelsThroughMulticast) {
+  for (bool hw : {false, true}) {
+    sim::Engine e;
+    NetConfig cfg = small_net(8);
+    cfg.hardware_multicast = hw;
+    Network n(e, cfg);
+    // The deliver closure is shared across the wave through one control
+    // block, so a move-only capture must stay alive and invocable once
+    // per remote destination.
+    auto token = std::make_unique<std::uint64_t>(7);
+    std::vector<sim::NodeId> got;
+    const std::vector<sim::NodeId> dsts{1, 3, 5};
+    n.multicast(0, dsts, MsgClass::kUpdate, 40,
+                [t = std::move(token), &got](sim::NodeId d) {
+                  ASSERT_EQ(*t, 7u);
+                  got.push_back(d);
+                });
+    e.run();
+    EXPECT_EQ(got, dsts) << "hardware_multicast=" << hw;
+  }
+}
+
 }  // namespace
 }  // namespace amo::net
