@@ -46,8 +46,7 @@ void Amu::submit(AmoRequest req) {
 void Amu::pump() {
   if (dispatching_ || queue_.empty()) return;
   dispatching_ = true;
-  AmoRequest req = std::move(queue_.front());
-  queue_.pop_front();
+  AmoRequest req = queue_.pop_front();
 
   ++stats_.ops;
   if (req.coherent) {

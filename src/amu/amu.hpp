@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "amu/amo_ops.hpp"
 #include "coh/agents.hpp"
 #include "coh/directory.hpp"
+#include "ds/ring_queue.hpp"
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
@@ -117,7 +117,7 @@ class Amu final : public coh::AmuIface {
   AmuConfig config_;
   sim::Tracer* tracer_;
 
-  std::deque<AmoRequest> queue_;
+  ds::RingQueue<AmoRequest> queue_;
   bool dispatching_ = false;
   std::vector<Entry> entries_;
   std::uint64_t lru_clock_ = 0;

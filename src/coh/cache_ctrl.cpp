@@ -127,9 +127,9 @@ sim::Task<std::uint64_t> CacheCtrl::atomic_rmw(amu::AmoOpcode op,
 
 sim::Task<void> CacheCtrl::request_line(sim::Addr addr, bool want_m) {
   const sim::Addr block = l2_.line_base(addr);
-  auto it = mshr_.find(block);
-  if (it == mshr_.end()) {
-    it = mshr_.emplace(block, Mshr{}).first;
+  Mshr* m = mshr_.find(block);
+  if (m == nullptr) {
+    m = &mshr_.get_or_create(block);
     mem::Cache::Line* line = l2_.find(addr, /*touch=*/false);
     Directory& dir = home_dir(addr);
     if (line != nullptr && want_m) {
@@ -153,7 +153,7 @@ sim::Task<void> CacheCtrl::request_line(sim::Addr addr, bool want_m) {
   // sibling's request brings the line in the wrong state, the caller's
   // retry loop issues a follow-up.
   sim::Promise<std::uint64_t> p(engine_);
-  it->second.waiters.push_back(p);
+  waiter_pool_.push(m->waiters, p);
   co_await p.get_future();
 }
 
@@ -179,26 +179,33 @@ void CacheCtrl::handle_victim(const mem::Cache::Victim& victim) {
 sim::Future<std::uint64_t> CacheCtrl::line_event(sim::Addr addr) {
   const sim::Addr block = l2_.line_base(addr);
   sim::Promise<std::uint64_t> p(engine_);
-  line_waiters_[block].push_back(p);
+  waiter_pool_.push(line_waiters_.get_or_create(block).waiters, p);
   return p.get_future();
 }
 
 void CacheCtrl::notify_line(sim::Addr block) {
-  auto it = line_waiters_.find(block);
-  if (it == line_waiters_.end()) return;
-  auto waiters = std::move(it->second);
-  line_waiters_.erase(it);
-  for (auto& p : waiters) {
+  LineWait* w = line_waiters_.find(block);
+  if (w == nullptr) return;
+  // Detach the queue and release the entry before completing waiters:
+  // set_value only schedules zero-cycle events, but a completion callback
+  // could still re-register on this block, and it must land in a fresh
+  // entry rather than the drained queue.
+  ds::WaitPool<sim::Promise<std::uint64_t>>::Queue q = w->waiters;
+  w->waiters = {};
+  line_waiters_.erase(block);
+  while (!waiter_pool_.empty(q)) {
+    auto p = waiter_pool_.pop(q);
     if (!p.completed()) p.set_value(0);
   }
 }
 
 void CacheCtrl::complete_mshr(sim::Addr block) {
-  auto it = mshr_.find(block);
-  if (it == mshr_.end()) return;
-  Mshr m = std::move(it->second);
-  mshr_.erase(it);
-  for (auto& p : m.waiters) p.set_value(0);
+  Mshr* m = mshr_.find(block);
+  if (m == nullptr) return;
+  ds::WaitPool<sim::Promise<std::uint64_t>>::Queue q = m->waiters;
+  m->waiters = {};
+  mshr_.erase(block);
+  while (!waiter_pool_.empty(q)) waiter_pool_.pop(q).set_value(0);
 }
 
 // ----------------------------------------------------------- CacheIface
@@ -211,7 +218,7 @@ void CacheCtrl::on_data(sim::Addr block, bool exclusive,
     // the authoritative copy and the granted state.
     line->state =
         exclusive ? mem::LineState::kExclusive : mem::LineState::kShared;
-    line->data.assign(data.begin(), data.end());
+    l2_.fill_words(*line, data);
     line->pinned = false;
   } else {
     auto victim = l2_.insert(
@@ -275,7 +282,7 @@ void CacheCtrl::on_recall(sim::Addr block, bool exclusive,
     return;
   }
   const bool dirty = line->state == mem::LineState::kModified;
-  mem::LineBuf data(line->data);
+  mem::LineBuf data(l2_.words(*line));
   if (exclusive) {
     l2_.invalidate(block);
     l1_.invalidate(block);

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "amu/amo_ops.hpp"
@@ -22,6 +21,7 @@
 #include "coh/directory.hpp"
 #include "coh/protocol.hpp"
 #include "coh/wiring.hpp"
+#include "ds/addr_table.hpp"
 #include "mem/cache.hpp"
 #include "sim/future.hpp"
 #include "sim/stats_registry.hpp"
@@ -114,8 +114,18 @@ class CacheCtrl final : public CacheIface {
   [[nodiscard]] bool link_armed() const { return link_valid_; }
 
  private:
+  // MSHRs and line-event waiter lists live in ds::AddrTable entries (the
+  // same open-addressing + slab-pooled container the directory uses for
+  // its line entries); their waiter FIFOs draw nodes from the shared
+  // `waiter_pool_`, so a steady-state miss or spin-wait costs no heap
+  // allocation.
   struct Mshr {
-    std::vector<sim::Promise<std::uint64_t>> waiters;
+    ds::WaitPool<sim::Promise<std::uint64_t>>::Queue waiters;
+    std::uint32_t next_free = ds::kNilIndex;  // intrusive AddrTable link
+  };
+  struct LineWait {
+    ds::WaitPool<sim::Promise<std::uint64_t>>::Queue waiters;
+    std::uint32_t next_free = ds::kNilIndex;
   };
 
   /// Brings the line in (S for loads, M for writes); returns when the
@@ -147,9 +157,9 @@ class CacheCtrl final : public CacheIface {
 
   mem::Cache l2_;
   mem::TagCache l1_;
-  std::unordered_map<sim::Addr, Mshr> mshr_;
-  std::unordered_map<sim::Addr, std::vector<sim::Promise<std::uint64_t>>>
-      line_waiters_;
+  ds::AddrTable<Mshr> mshr_;
+  ds::AddrTable<LineWait> line_waiters_;
+  ds::WaitPool<sim::Promise<std::uint64_t>> waiter_pool_;
 
   bool link_valid_ = false;
   sim::Addr link_block_ = 0;

@@ -6,10 +6,6 @@
 
 namespace amo::coh {
 
-namespace {
-constexpr std::size_t kInitialTableSlots = 256;  // power of two
-}  // namespace
-
 Directory::Directory(sim::Engine& engine, Wiring& wiring, Agents& agents,
                      sim::NodeId node, mem::Backing& backing, mem::Dram& dram,
                      const DirConfig& config, sim::Tracer* tracer)
@@ -23,133 +19,36 @@ Directory::Directory(sim::Engine& engine, Wiring& wiring, Agents& agents,
       sizes_{backing.line_bytes()},
       tracer_(tracer) {
   assert(backing.words_per_line() <= mem::LineBuf::kMaxWords);
-  table_.resize(kInitialTableSlots);
 }
 
 // ------------------------------------------------------------ entry table
 
-std::uint32_t Directory::table_find(sim::Addr block) const {
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = table_home(block, mask);
-  while (table_[i].idx != kNil) {
-    if (table_[i].key == block) return table_[i].idx;
-    i = (i + 1) & mask;
-  }
-  return kNil;
-}
-
-void Directory::table_grow() {
-  std::vector<TableSlot> old = std::move(table_);
-  table_.assign(old.size() * 2, TableSlot{});
-  const std::size_t mask = table_.size() - 1;
-  for (const TableSlot& s : old) {
-    if (s.idx == kNil) continue;
-    std::size_t i = table_home(s.key, mask);
-    while (table_[i].idx != kNil) i = (i + 1) & mask;
-    table_[i] = s;
-  }
-}
-
 Directory::Entry& Directory::entry(sim::Addr block) {
   assert(block == backing_.line_base(block));
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = table_home(block, mask);
-  while (table_[i].idx != kNil) {
-    if (table_[i].key == block) return entry_at(table_[i].idx);
-    i = (i + 1) & mask;
-  }
-  // Miss: pull an entry from the free list (or carve a new one) and seat
-  // it. Pooled entries are reset on release (maybe_reclaim), so a reused
-  // one is already in the default state.
-  std::uint32_t idx = entry_free_;
-  if (idx != kNil) {
-    entry_free_ = entry_at(idx).next_free;
-    entry_at(idx).next_free = kNil;
-  } else {
-    if (entries_alloced_ % kEntriesPerSlab == 0) {
-      slabs_.push_back(std::make_unique<Entry[]>(kEntriesPerSlab));
-    }
-    idx = entries_alloced_++;
-  }
-  table_[i] = TableSlot{block, idx};
-  ++table_count_;
-  // Grow at 3/4 load so probe chains stay short.
-  if (table_count_ * 4 >= table_.size() * 3) table_grow();
-  return entry_at(idx);
-}
-
-const Directory::Entry* Directory::peek_entry(sim::Addr block) const {
-  const std::uint32_t idx = table_find(block);
-  return idx == kNil ? nullptr : &entry_at(idx);
+  return entries_.get_or_create(block);
 }
 
 void Directory::maybe_reclaim(sim::Addr block) {
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = table_home(block, mask);
-  while (table_[i].idx != kNil && table_[i].key != block) i = (i + 1) & mask;
-  if (table_[i].idx == kNil) return;
-  const std::uint32_t idx = table_[i].idx;
-  Entry& e = entry_at(idx);
-  const bool vacant = e.st == State::kUncached && !e.busy && !e.amu_sharer &&
-                      !e.coarse && e.wait_head == kNil && e.sharers.none();
+  Entry* e = entries_.find(block);
+  if (e == nullptr) return;
+  const bool vacant = e->st == State::kUncached && !e->busy &&
+                      !e->amu_sharer && !e->coarse &&
+                      wait_pool_.empty(e->waiting) && e->sharers.none();
   if (!vacant) return;
-  // Reset for reuse and push onto the free list.
-  e.owner = sim::kInvalidCpu;
-  e.txn = Txn{};
-  e.next_free = entry_free_;
-  entry_free_ = idx;
-  --table_count_;
-  // Backward-shift deletion: refill the hole from the probe chain so
-  // lookups never need tombstones.
-  std::size_t hole = i;
-  std::size_t j = i;
-  for (;;) {
-    j = (j + 1) & mask;
-    if (table_[j].idx == kNil) break;
-    const std::size_t home = table_home(table_[j].key, mask);
-    // Slot j may move into the hole only if its home position does not
-    // lie cyclically within (hole, j] — otherwise the move would break
-    // the probe chain from `home` to j.
-    const bool home_in_gap = hole <= j ? (home > hole && home <= j)
-                                       : (home > hole || home <= j);
-    if (!home_in_gap) {
-      table_[hole] = table_[j];
-      hole = j;
-    }
-  }
-  table_[hole] = TableSlot{};
+  // Reset for reuse; the table recycles the entry through its free list.
+  e->owner = sim::kInvalidCpu;
+  e->txn = Txn{};
+  entries_.erase(block);
 }
 
 // --------------------------------------------------------------- pools
 
 void Directory::wait_push(Entry& e, sim::InlineFn fn) {
-  std::uint32_t idx = wait_free_;
-  if (idx != kNil) {
-    wait_free_ = wait_nodes_[idx].next;
-    wait_nodes_[idx].fn = std::move(fn);
-    wait_nodes_[idx].next = kNil;
-  } else {
-    idx = static_cast<std::uint32_t>(wait_nodes_.size());
-    wait_nodes_.push_back(WaitNode{std::move(fn), kNil});
-  }
-  if (e.wait_tail == kNil) {
-    e.wait_head = idx;
-  } else {
-    wait_nodes_[e.wait_tail].next = idx;
-  }
-  e.wait_tail = idx;
+  wait_pool_.push(e.waiting, std::move(fn));
 }
 
 sim::InlineFn Directory::wait_pop(Entry& e) {
-  assert(e.wait_head != kNil);
-  const std::uint32_t idx = e.wait_head;
-  WaitNode& n = wait_nodes_[idx];
-  e.wait_head = n.next;
-  if (e.wait_head == kNil) e.wait_tail = kNil;
-  sim::InlineFn fn = std::move(n.fn);
-  n.next = wait_free_;
-  wait_free_ = idx;
-  return fn;
+  return wait_pool_.pop(e.waiting);
 }
 
 std::uint32_t Directory::alloc_put_wave() {
@@ -752,7 +651,7 @@ void Directory::finish_txn(sim::Addr block) {
 void Directory::kick(sim::Addr block) {
   Entry& e = entry(block);
   if (e.busy) return;
-  if (e.wait_head == kNil) {
+  if (wait_pool_.empty(e.waiting)) {
     maybe_reclaim(block);
     return;
   }

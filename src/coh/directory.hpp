@@ -16,6 +16,7 @@
 #include "coh/agents.hpp"
 #include "coh/protocol.hpp"
 #include "coh/wiring.hpp"
+#include "ds/addr_table.hpp"
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
 #include "mem/line_buf.hpp"
@@ -123,7 +124,7 @@ class Directory {
 
  private:
   /// Sentinel for the pool/free-list index links below.
-  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kNil = ds::kNilIndex;
 
   struct Txn {
     enum class Kind : std::uint8_t { kGetS, kGetX, kUpgrade, kWordGet };
@@ -141,9 +142,11 @@ class Directory {
   };
 
   // A directory line entry. Entries live in slab-pooled storage (stable
-  // addresses) reached through the open-addressing table below; `waiting`
-  // is an intrusive FIFO of pooled WaitNode indices, and `next_free`
-  // threads vacant entries into the pool's free list.
+  // addresses) reached through a ds::AddrTable — the same open-addressing
+  // + pooled-entry container the cache controller's MSHRs use; `waiting`
+  // is a FIFO of deferred requests parked behind a busy block, drawn from
+  // the pooled `wait_pool_`, and `next_free` threads vacant entries into
+  // the table's free list.
   struct Entry {
     State st = State::kUncached;
     bool coarse = false;  // limited-pointer overflow: sharers unknown
@@ -152,18 +155,8 @@ class Directory {
     bool amu_sharer = false;
     bool busy = false;
     Txn txn;
-    std::uint32_t wait_head = kNil;  // deferred-request FIFO (WaitNode pool)
-    std::uint32_t wait_tail = kNil;
-    std::uint32_t next_free = kNil;  // intrusive Entry free list
-  };
-
-  /// A deferred request parked behind a busy block. Nodes are drawn from
-  /// a directory-wide slab pool and recycled through a free list, so the
-  /// per-entry queue costs no allocation in steady state (the deque of
-  /// std::function it replaces allocated per entry *and* per deferral).
-  struct WaitNode {
-    sim::InlineFn fn;
-    std::uint32_t next = kNil;
+    ds::WaitPool<sim::InlineFn>::Queue waiting;  // deferred-request FIFO
+    std::uint32_t next_free = kNil;  // intrusive AddrTable free list
   };
 
   /// One word-put fan-out in flight: the sharer snapshot taken at the
@@ -176,23 +169,10 @@ class Directory {
     std::uint32_t next_free = kNil;
   };
 
-  // --- entry table: open addressing + pooled entry storage ---
+  // --- entry table (ds::AddrTable wrappers) ---
   Entry& entry(sim::Addr block);
-  [[nodiscard]] const Entry* peek_entry(sim::Addr block) const;
-  [[nodiscard]] std::size_t table_home(sim::Addr block, std::size_t mask)
-      const {
-    // Fibonacci multiplicative hash; blocks are line-aligned, the multiply
-    // spreads the low zero bits across the table.
-    return static_cast<std::size_t>(
-               (block * 0x9E3779B97F4A7C15ull) >> 32) & mask;
-  }
-  [[nodiscard]] std::uint32_t table_find(sim::Addr block) const;
-  void table_grow();
-  Entry& entry_at(std::uint32_t idx) {
-    return slabs_[idx / kEntriesPerSlab][idx % kEntriesPerSlab];
-  }
-  [[nodiscard]] const Entry& entry_at(std::uint32_t idx) const {
-    return slabs_[idx / kEntriesPerSlab][idx % kEntriesPerSlab];
+  [[nodiscard]] const Entry* peek_entry(sim::Addr block) const {
+    return entries_.find(block);
   }
   /// Frees `block`'s entry back to the pool when it carries no state at
   /// all (idle, uncached, unshared, no waiters): long-running workloads
@@ -252,26 +232,10 @@ class Directory {
   sim::Tracer* tracer_;
   sim::Cycle busy_until_ = 0;  // occupancy pipeline
 
-  /// Entries per storage slab. Entries are ~200 bytes; 64 per slab keeps
-  /// allocation rare without pinning much idle memory per directory.
-  static constexpr std::uint32_t kEntriesPerSlab = 64;
-
-  // Open-addressing table (linear probing, backward-shift deletion):
-  // maps a block address to an index into the entry slabs. The table
-  // holds only 12-byte slots, so growth is cheap and probes stay in a
-  // few cache lines; Entry addresses are slab-stable across growth.
-  struct TableSlot {
-    sim::Addr key = 0;
-    std::uint32_t idx = kNil;  // kNil = vacant slot
-  };
-  std::vector<TableSlot> table_;
-  std::size_t table_count_ = 0;
-  std::vector<std::unique_ptr<Entry[]>> slabs_;
-  std::uint32_t entry_free_ = kNil;   // head of the intrusive free list
-  std::uint32_t entries_alloced_ = 0;
-
-  std::vector<WaitNode> wait_nodes_;  // index-addressed; grows, never shrinks
-  std::uint32_t wait_free_ = kNil;
+  // Entries are ~200 bytes; 64 per slab (the AddrTable default) keeps
+  // allocation rare without pinning much idle memory per directory.
+  ds::AddrTable<Entry> entries_;
+  ds::WaitPool<sim::InlineFn> wait_pool_;
 
   std::vector<PutWave> put_waves_;
   std::uint32_t put_wave_free_ = kNil;

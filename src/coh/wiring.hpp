@@ -17,6 +17,7 @@
 
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/types.hpp"
 
@@ -82,8 +83,9 @@ class Wiring {
   void post_update(sim::NodeId from, std::span<const sim::NodeId> nodes,
                    std::uint32_t bytes,
                    sim::InlineFnT<sim::NodeId> deliver) {
-    auto shared =
-        std::make_shared<sim::InlineFnT<sim::NodeId>>(std::move(deliver));
+    auto shared = std::allocate_shared<sim::InlineFnT<sim::NodeId>>(
+        sim::FramePoolAllocator<sim::InlineFnT<sim::NodeId>>{},
+        std::move(deliver));
     // Local target (if any) is delivered at hub latency.
     for (sim::NodeId n : nodes) {
       if (n == from) {
@@ -94,8 +96,12 @@ class Wiring {
     }
     // Remote targets pay the same bus crossings as post(): updates and
     // data replies MUST share one injection pipeline, or an update could
-    // overtake an in-flight line fill and be dropped at the cache.
-    std::vector<sim::NodeId> remote(nodes.begin(), nodes.end());
+    // overtake an in-flight line fill and be dropped at the cache. The
+    // caller's span is not stable across the injection delay, so the
+    // target list is snapshotted — into pool-backed storage, keeping
+    // steady-state put waves heap-free.
+    std::vector<sim::NodeId, sim::FramePoolAllocator<sim::NodeId>> remote(
+        nodes.begin(), nodes.end());
     engine_.schedule(bus_cycles_, [this, from, bytes, shared,
                                    remote = std::move(remote)] {
       network_.multicast(from, remote, net::MsgClass::kUpdate, bytes,

@@ -200,9 +200,10 @@ std::uint64_t Machine::peek_word(sim::Addr addr) const {
   const coh::Directory& d = *dirs_[coh::home_of(addr)];
   if (d.state_of(block) == coh::Directory::State::kExclusive) {
     const sim::CpuId owner = d.owner_of(block);
-    const mem::Cache::Line* line = cores_[owner]->cache().l2().peek(addr);
+    const mem::Cache& l2 = cores_[owner]->cache().l2();
+    const mem::Cache::Line* line = l2.peek(addr);
     if (line != nullptr) {
-      return line->data[(addr - block) / 8];
+      return l2.words(*line)[(addr - block) / 8];
     }
   }
   const amu::Amu& a = *amus_[coh::home_of(addr)];

@@ -1,0 +1,56 @@
+// Recycling FIFO over a power-of-two ring: push_back/pop_front with
+// wrap-around indices, growing (rarely) by doubling. Replaces std::deque
+// on hot paths — a deque allocates and frees block nodes as the queue
+// oscillates around a block boundary, so even a bounded queue keeps the
+// allocator busy; the ring reuses its slots forever once it has grown to
+// the high-water mark.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace amo::ds {
+
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(std::size_t initial_capacity = 16) {
+    assert((initial_capacity & (initial_capacity - 1)) == 0);
+    ring_.resize(initial_capacity);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (size_ == ring_.size()) grow();
+    ring_[(head_ + size_) & (ring_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T pop_front() {
+    assert(size_ > 0);
+    T value = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --size_;
+    return value;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(ring_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace amo::ds

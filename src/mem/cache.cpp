@@ -1,6 +1,7 @@
 #include "mem/cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace amo::mem {
 
@@ -14,27 +15,36 @@ const char* to_string(LineState s) {
   return "?";
 }
 
-Cache::Cache(const CacheGeometry& geometry) : geom_(geometry) {
+Cache::Cache(const CacheGeometry& geometry)
+    : geom_(geometry),
+      words_per_line_(geometry.line_bytes / 8),
+      line_shift_(std::countr_zero(geometry.line_bytes)),
+      set_mask_(geometry.num_sets() - 1) {
   assert(geom_.size_bytes % (geom_.ways * geom_.line_bytes) == 0);
   assert((geom_.line_bytes & (geom_.line_bytes - 1)) == 0);
+  assert(std::has_single_bit(geom_.num_sets()) &&
+         "set count must be a power of two (indexed by mask)");
   assert(geom_.line_bytes / 8 <= LineBuf::kMaxWords);
-  lines_.resize(static_cast<std::size_t>(geom_.num_sets()) * geom_.ways);
+  assert(geom_.ways <= 8 && "way_init_ tracks ways in a one-byte mask");
+  const auto lines = static_cast<std::size_t>(geom_.num_sets()) * geom_.ways;
+  lines_ = std::make_unique_for_overwrite<Line[]>(lines);
+  words_ = std::make_unique_for_overwrite<std::uint64_t[]>(lines *
+                                                           words_per_line_);
+  way_init_.resize(geom_.num_sets());
 }
 
 std::uint32_t Cache::set_index(sim::Addr block) const {
-  return static_cast<std::uint32_t>((block / geom_.line_bytes) %
-                                    geom_.num_sets());
-}
-
-std::span<Cache::Line> Cache::set_of(sim::Addr block) {
-  return {lines_.data() +
-              static_cast<std::size_t>(set_index(block)) * geom_.ways,
-          geom_.ways};
+  return static_cast<std::uint32_t>(block >> line_shift_) & set_mask_;
 }
 
 Cache::Line* Cache::find(sim::Addr addr, bool touch) {
   const sim::Addr block = line_base(addr);
-  for (Line& line : set_of(block)) {
+  const std::uint32_t si = set_index(block);
+  const std::uint32_t mask = way_init_[si];
+  Line* base = lines_.get() + static_cast<std::size_t>(si) * geom_.ways;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    if ((mask & (1u << w)) == 0) continue;  // never constructed: a miss
+    Line& line = base[w];
     if (line.state != LineState::kInvalid && line.block == block) {
       if (touch) {
         line.lru = ++lru_clock_;
@@ -58,26 +68,35 @@ std::optional<Cache::Victim> Cache::insert(
   assert(data.size() == geom_.line_bytes / 8);
   assert(peek(block) == nullptr && "line already present");
 
-  auto set = set_of(block);
+  const std::uint32_t si = set_index(block);
+  std::uint8_t& mask = way_init_[si];
+  Line* base = lines_.get() + static_cast<std::size_t>(si) * geom_.ways;
   Line* slot = nullptr;
-  for (Line& line : set) {
-    if (line.state == LineState::kInvalid) {
-      slot = &line;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    const bool constructed = (mask & (1u << w)) != 0;
+    if (!constructed || base[w].state == LineState::kInvalid) {
+      if (!constructed) {
+        base[w] = Line{};
+        mask = static_cast<std::uint8_t>(mask | (1u << w));
+      }
+      slot = &base[w];
       break;
     }
   }
   std::optional<Victim> victim;
   if (slot == nullptr) {
     // LRU among unpinned lines; pinned lines have an MSHR in flight and
-    // must stay resident until their transaction completes.
+    // must stay resident until their transaction completes. Every way is
+    // constructed here: the set is full.
     Line* lru = nullptr;
-    for (Line& line : set) {
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+      Line& line = base[w];
       if (line.pinned) continue;
       if (lru == nullptr || line.lru < lru->lru) lru = &line;
     }
     assert(lru != nullptr && "every way pinned: too many concurrent MSHRs");
     slot = lru;
-    victim.emplace(Victim{slot->block, slot->state, LineBuf(slot->data)});
+    victim.emplace(Victim{slot->block, slot->state, LineBuf(words(*slot))});
     ++stats_.evictions;
     if (slot->state == LineState::kModified) ++stats_.dirty_evictions;
   }
@@ -85,7 +104,7 @@ std::optional<Cache::Victim> Cache::insert(
   slot->state = state;
   slot->pinned = false;
   slot->lru = ++lru_clock_;
-  slot->data.assign(data.begin(), data.end());
+  std::copy(data.begin(), data.end(), line_words(*slot));
   return victim;
 }
 
@@ -93,30 +112,37 @@ std::optional<Cache::Victim> Cache::invalidate(sim::Addr addr) {
   Line* line = find(addr, /*touch=*/false);
   if (line == nullptr) return std::nullopt;
   ++stats_.invals_received;
-  Victim v{line->block, line->state, LineBuf(line->data)};
+  Victim v{line->block, line->state, LineBuf(words(*line))};
   line->state = LineState::kInvalid;
   line->pinned = false;
-  line->data.clear();
   return v;
 }
 
-std::uint64_t Cache::read_word(Line& line, sim::Addr addr) const {
+std::uint64_t Cache::read_word(const Line& line, sim::Addr addr) const {
   assert(line.block == line_base(addr));
-  return line.data[word_index(addr)];
+  return words_[line_index(line) * words_per_line_ + word_index(addr)];
 }
 
 void Cache::write_word(Line& line, sim::Addr addr, std::uint64_t value) {
   assert(line.block == line_base(addr));
-  line.data[word_index(addr)] = value;
+  line_words(line)[word_index(addr)] = value;
 }
 
-TagCache::TagCache(const CacheGeometry& geometry) : geom_(geometry) {
+void Cache::fill_words(const Line& line, std::span<const std::uint64_t> data) {
+  assert(data.size() == words_per_line_);
+  std::copy(data.begin(), data.end(), line_words(line));
+}
+
+TagCache::TagCache(const CacheGeometry& geometry)
+    : geom_(geometry),
+      line_shift_(std::countr_zero(geometry.line_bytes)),
+      set_mask_(geometry.num_sets() - 1) {
+  assert(std::has_single_bit(geom_.num_sets()));
   tags_.resize(static_cast<std::size_t>(geom_.num_sets()) * geom_.ways);
 }
 
 std::uint32_t TagCache::set_index(sim::Addr block) const {
-  return static_cast<std::uint32_t>((block / geom_.line_bytes) %
-                                    geom_.num_sets());
+  return static_cast<std::uint32_t>(block >> line_shift_) & set_mask_;
 }
 
 bool TagCache::probe(sim::Addr addr) {

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -43,12 +44,14 @@ struct CacheStats {
 
 class Cache {
  public:
+  // Metadata only — 24 bytes, so a 4-way set's tags/state/LRU fit in
+  // two cache lines of the host. Word payloads live in one flat
+  // set-major block (`words_`), addressed by line index; see `words()`.
   struct Line {
     sim::Addr block = 0;  // line base address
     LineState state = LineState::kInvalid;
     bool pinned = false;  // protected from victim selection (active MSHR)
     std::uint64_t lru = 0;
-    std::vector<std::uint64_t> data;  // words_per_line entries
   };
 
   /// A line pushed out to make room. The payload rides in a fixed inline
@@ -83,8 +86,19 @@ class Cache {
   std::optional<Victim> invalidate(sim::Addr addr);
 
   /// Word read/write within a resident line.
-  [[nodiscard]] std::uint64_t read_word(Line& line, sim::Addr addr) const;
+  [[nodiscard]] std::uint64_t read_word(const Line& line,
+                                        sim::Addr addr) const;
   void write_word(Line& line, sim::Addr addr, std::uint64_t value);
+
+  /// The line's word payload (words_per_line entries) in the flat
+  /// set-major data block. `line` must be a reference obtained from this
+  /// cache (find/peek) — the payload is located by line index.
+  [[nodiscard]] std::span<const std::uint64_t> words(const Line& line) const {
+    return {words_.get() + line_index(line) * words_per_line_,
+            words_per_line_};
+  }
+  /// Overwrites the line's payload (e.g. a fill from a data response).
+  void fill_words(const Line& line, std::span<const std::uint64_t> data);
 
   [[nodiscard]] CacheStats& stats() { return stats_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -95,17 +109,40 @@ class Cache {
   /// Iterates all valid lines (coherence-invariant checks in tests).
   template <typename Fn>
   void for_each_line(Fn&& fn) const {
-    for (const auto& line : lines_) {
-      if (line.state != LineState::kInvalid) fn(line);
+    for (std::uint32_t s = 0; s < geom_.num_sets(); ++s) {
+      for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if ((way_init_[s] & (1u << w)) == 0) continue;
+        const Line& line = lines_[static_cast<std::size_t>(s) * geom_.ways + w];
+        if (line.state != LineState::kInvalid) fn(line);
+      }
     }
   }
 
  private:
   [[nodiscard]] std::uint32_t set_index(sim::Addr block) const;
-  std::span<Line> set_of(sim::Addr block);
+  [[nodiscard]] std::size_t line_index(const Line& line) const {
+    return static_cast<std::size_t>(&line - lines_.get());
+  }
+  [[nodiscard]] std::uint64_t* line_words(const Line& line) {
+    return words_.get() + line_index(line) * words_per_line_;
+  }
 
   CacheGeometry geom_;
-  std::vector<Line> lines_;  // sets * ways, set-major
+  std::size_t words_per_line_;
+  std::uint32_t line_shift_;  // log2(line_bytes)
+  std::uint32_t set_mask_;    // num_sets - 1 (power-of-two set count)
+  // Line metadata (sets * ways, set-major) and the parallel payload
+  // block, both deliberately *uninitialized* (make_unique_for_overwrite):
+  // a 256-cpu machine carries hundreds of MB of cache arrays, and
+  // zero-filling them up front dominates machine construction in sweeps
+  // that build one machine per (mechanism, cpu_count) cell. The only
+  // eagerly-zeroed state is `way_init_`, one byte per set: bit w says
+  // set's way w has been constructed. Untouched ways are misses by
+  // definition, and a way is default-constructed (then fully written)
+  // the first time `insert` seats a line in it.
+  std::unique_ptr<Line[]> lines_;
+  std::unique_ptr<std::uint64_t[]> words_;
+  std::vector<std::uint8_t> way_init_;  // per-set constructed-way bitmask
   std::uint64_t lru_clock_ = 0;
   CacheStats stats_;
 };
@@ -136,6 +173,8 @@ class TagCache {
   [[nodiscard]] std::uint32_t set_index(sim::Addr block) const;
 
   CacheGeometry geom_;
+  std::uint32_t line_shift_;
+  std::uint32_t set_mask_;
   std::vector<Tag> tags_;
   std::uint64_t lru_clock_ = 0;
 };

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace amo::net {
 
 const char* to_string(MsgClass c) {
@@ -113,9 +115,11 @@ void Network::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
                         MsgClass cls, std::uint32_t size_bytes,
                         sim::InlineFnT<sim::NodeId> deliver) {
   // One refcounted control block shares the (move-only, possibly
-  // stateful) deliver closure across every destination's event.
-  auto shared =
-      std::make_shared<sim::InlineFnT<sim::NodeId>>(std::move(deliver));
+  // stateful) deliver closure across every destination's event; it draws
+  // from the frame pool so steady-state update waves stay heap-free.
+  auto shared = std::allocate_shared<sim::InlineFnT<sim::NodeId>>(
+      sim::FramePoolAllocator<sim::InlineFnT<sim::NodeId>>{},
+      std::move(deliver));
   if (!config_.hardware_multicast) {
     // Serialized unicasts: the sending hub injects one packet per target.
     for (sim::NodeId dst : dsts) {

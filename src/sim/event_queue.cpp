@@ -75,12 +75,23 @@ EventQueue::SpanVecPool& EventQueue::span_vec_pool() {
 
 void EventQueue::acquire_span_vecs(
     std::array<std::vector<SpanEvent>, kSpans>* out) {
-  SpanVecPool& pool = span_vec_pool();
-  const std::lock_guard<std::mutex> lock(pool.mu);
+  {
+    SpanVecPool& pool = span_vec_pool();
+    const std::lock_guard<std::mutex> lock(pool.mu);
+    for (auto& v : *out) {
+      if (pool.vecs.empty()) break;
+      v = std::move(pool.vecs.back());
+      pool.vecs.pop_back();
+    }
+  }
+  // Seed a floor capacity so a long-lived engine reaches steady state
+  // immediately: the span base rotates through all kSpans slots over
+  // ~kSpans*kWindowCycles simulated cycles, and without the floor each
+  // slot re-runs the 1->2->4->... growth chain on first touch — a
+  // quarter-million-cycle trickle of allocations. Recycled vectors
+  // usually satisfy this already; fresh ones pay one allocation here.
   for (auto& v : *out) {
-    if (pool.vecs.empty()) break;
-    v = std::move(pool.vecs.back());
-    pool.vecs.pop_back();
+    if (v.capacity() < kSpanVecFloor) v.reserve(kSpanVecFloor);
   }
 }
 

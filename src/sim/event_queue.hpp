@@ -87,6 +87,9 @@ class EventQueue {
   static constexpr Cycle kSpans = 256;
   static constexpr Cycle kSpanMask = kSpans - 1;
   static constexpr std::size_t kSpanOccWords = kSpans / 64;
+  /// Minimum capacity every span vector is seeded with on acquire, so
+  /// steady-state span traffic never allocates (see acquire_span_vecs).
+  static constexpr std::size_t kSpanVecFloor = 16;
 
   /// Callbacks per storage chunk (~2 KB chunks) and chunks per slab
   /// (~66 KB slabs): large enough that slab allocation is rare, small

@@ -1,0 +1,91 @@
+#include "sim/frame_pool.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace amo::sim::frame_pool_detail {
+
+namespace {
+
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+// Process-wide recycling of slab capacity (mirrors the event queue's
+// chunk-slab pool): sweep workers construct and tear down machines back
+// to back, and re-faulting 64 KiB pages per worker would dominate short
+// cells. Capped so a wide one-off sweep cannot pin memory forever.
+class GlobalSlabPool {
+ public:
+  static constexpr std::size_t kMaxPooledSlabs = 256;  // 16 MiB ceiling
+  std::mutex mu;
+  std::vector<std::unique_ptr<std::byte[]>> slabs;
+};
+
+GlobalSlabPool& global_slab_pool() {
+  static GlobalSlabPool pool;
+  return pool;
+}
+
+// After this thread's SlabStore has been destroyed, its slabs (and every
+// block the free lists pointed into) belong to the global pool again;
+// late pooled traffic from other thread-exit destructors must not touch
+// them.
+thread_local bool t_torn_down = false;
+
+struct SlabStore {
+  std::vector<std::unique_ptr<std::byte[]>> slabs;
+
+  ~SlabStore() {
+    for (FreeBlock*& head : t_free) head = nullptr;
+    t_torn_down = true;
+    GlobalSlabPool& pool = global_slab_pool();
+    const std::lock_guard<std::mutex> lock(pool.mu);
+    for (auto& slab : slabs) {
+      if (pool.slabs.size() >= GlobalSlabPool::kMaxPooledSlabs) break;
+      pool.slabs.push_back(std::move(slab));
+    }
+  }
+
+  std::unique_ptr<std::byte[]> acquire() {
+    GlobalSlabPool& pool = global_slab_pool();
+    {
+      const std::lock_guard<std::mutex> lock(pool.mu);
+      if (!pool.slabs.empty()) {
+        std::unique_ptr<std::byte[]> slab = std::move(pool.slabs.back());
+        pool.slabs.pop_back();
+        return slab;
+      }
+    }
+    return std::make_unique_for_overwrite<std::byte[]>(kSlabBytes);
+  }
+};
+
+thread_local SlabStore t_slabs;
+
+}  // namespace
+
+void* refill_and_allocate(std::size_t cls) {
+  const std::size_t block_bytes = (cls + 1) * kGranularity;
+  if (t_torn_down) return ::operator new(block_bytes);
+  std::unique_ptr<std::byte[]> slab = t_slabs.acquire();
+  std::byte* base = slab.get();
+  t_slabs.slabs.push_back(std::move(slab));
+  // Chain all blocks after the first into the class free list. Carving a
+  // whole slab per refill keeps refills rare (a 64-byte class yields 1024
+  // blocks per fault).
+  const std::size_t count = kSlabBytes / block_bytes;
+  FreeBlock* head = nullptr;
+  for (std::size_t i = count; i-- > 1;) {
+    auto* b = reinterpret_cast<FreeBlock*>(base + i * block_bytes);
+    b->next = head;
+    head = b;
+  }
+  t_free[cls] = head;
+  return base;
+}
+
+std::size_t slabs_held() { return t_slabs.slabs.size(); }
+
+}  // namespace amo::sim::frame_pool_detail

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace amo::sim {
 
@@ -60,8 +61,15 @@ class Future {
 template <typename T>
 class Promise {
  public:
+  /// An empty promise (no shared state); only useful as a pooled-slot
+  /// placeholder to be move-assigned over before use.
+  Promise() = default;
+
   explicit Promise(Engine& engine)
-      : state_(std::make_shared<detail::FutureState<T>>()) {
+      // allocate_shared through the frame pool: state + control block in
+      // one pooled allocation, so per-op promises stop hitting the heap.
+      : state_(std::allocate_shared<detail::FutureState<T>>(
+            FramePoolAllocator<detail::FutureState<T>>{})) {
     state_->engine = &engine;
   }
 

@@ -12,6 +12,11 @@
 // that take arguments (multicast delivery takes a NodeId, AMO replies
 // take the old word value); InlineFn is the nullary alias the event
 // queue uses.
+//
+// The oversized fallback boxes the callable through FramePool, not the
+// global allocator: AMO requests ride the network inside closures that
+// carry a nested reply InlineFn (well past 48 bytes), and pooling their
+// boxes keeps steady-state AMO traffic allocation-free too.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,8 @@
 #include <new>
 #include <type_traits>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace amo::sim {
 
@@ -45,8 +52,14 @@ class InlineFnT {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &kInlineOps<Fn>;
     } else {
-      ::new (static_cast<void*>(buf_))
-          Fn*(new Fn(std::forward<F>(f)));
+      void* box = FramePool::allocate(sizeof(Fn));
+      try {
+        ::new (box) Fn(std::forward<F>(f));
+      } catch (...) {
+        FramePool::deallocate(box, sizeof(Fn));
+        throw;
+      }
+      ::new (static_cast<void*>(buf_)) Fn*(static_cast<Fn*>(box));
       ops_ = &kHeapOps<Fn>;
     }
   }
@@ -148,7 +161,11 @@ class InlineFnT {
             std::forward<Args>(args)...);
       },
       nullptr,  // relocating the owning pointer is a raw copy
-      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+      [](void* s) noexcept {
+        Fn* p = *std::launder(reinterpret_cast<Fn**>(s));
+        p->~Fn();
+        FramePool::deallocate(p, sizeof(Fn));
+      },
       /*heap_held=*/true,
   };
 
