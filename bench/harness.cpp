@@ -1,6 +1,9 @@
 #include "bench/harness.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "core/config_io.hpp"
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -186,6 +189,26 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
   return r;
 }
 
+core::SystemConfig base_config(const CliOptions& opt) {
+  core::SystemConfig cfg;
+  if (!opt.config_path.empty()) {
+    std::ifstream in(opt.config_path);
+    if (!in) {
+      throw std::runtime_error("--config: cannot open '" + opt.config_path +
+                               "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    core::apply_json(cfg, sim::Json::parse(text.str()));
+  }
+  for (const auto& [key, value] : opt.sets) {
+    core::set_field(cfg, key, std::string_view(value));
+  }
+  if (opt.seed != 0) cfg.seed = opt.seed;
+  core::validate(cfg);
+  return cfg;
+}
+
 std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus) {
   std::vector<std::uint32_t> all{4, 8, 16, 32, 64, 128, 256};
   std::vector<std::uint32_t> out;
@@ -273,12 +296,27 @@ CliOptions parse_cli(int argc, char** argv) {
         throw std::runtime_error("--json: requires a file path");
       }
       opt.json_path = a + 7;
+    } else if (std::strncmp(a, "--config=", 9) == 0) {
+      if (a[9] == '\0') {
+        throw std::runtime_error("--config: requires a file path");
+      }
+      opt.config_path = a + 9;
+    } else if (std::strncmp(a, "--set=", 6) == 0 ||
+               std::strcmp(a, "--set") == 0) {
+      const char* kv = a[5] == '=' ? a + 6 : (i + 1 < argc ? argv[++i] : "");
+      const char* eq = std::strchr(kv, '=');
+      if (eq == nullptr || eq == kv || eq[1] == '\0') {
+        throw std::runtime_error(
+            std::string("--set: expected key=value, got '") + kv + "'");
+      }
+      opt.sets.emplace_back(std::string(kv, eq), std::string(eq + 1));
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --cpus=a,b,c  --episodes=N  --iters=N  --threads=N"
-          "  --seed=N  --quick  --json=PATH\n");
+          "  --seed=N  --quick  --json=PATH  --config=FILE"
+          "  --set KEY=VALUE\n");
       std::exit(0);
     } else {
       throw std::runtime_error(std::string("unknown option: ") + a);

@@ -4,13 +4,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/machine.hpp"
 #include "net/network.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/json.hpp"
 #include "sync/barrier.hpp"
 #include "sync/lock.hpp"
@@ -64,7 +65,7 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params);
 std::vector<std::uint32_t> paper_cpu_counts(std::uint32_t min_cpus = 4);
 
 /// Parses --cpus=a,b,c / --episodes=N / --iters=N / --threads=N / --seed=N
-/// / --json=path overrides.
+/// / --json=path / --config=file.json / --set key=value overrides.
 struct CliOptions {
   std::vector<std::uint32_t> cpus;
   int episodes = 0;  // 0 = keep default
@@ -73,15 +74,15 @@ struct CliOptions {
   std::uint64_t seed = 0;  // 0 = keep the config default
   bool quick = false;      // trimmed sweep for CI
   std::string json_path;   // empty = no machine-readable output
+  std::string config_path;  // --config: JSON overrides for SystemConfig
+  std::vector<std::pair<std::string, std::string>> sets;  // --set k=v
 };
 
-/// A default SystemConfig with the CLI overrides that live in the config
-/// (currently --seed) applied. Benches start every swept config from this.
-inline core::SystemConfig base_config(const CliOptions& opt) {
-  core::SystemConfig cfg;
-  if (opt.seed != 0) cfg.seed = opt.seed;
-  return cfg;
-}
+/// A default SystemConfig with every config-side CLI override applied, in
+/// order: the --config file, each --set key=value, then --seed. The
+/// result is validated; errors (unknown keys, inconsistent knobs) throw
+/// core::ConfigError naming the field. Every swept config starts here.
+[[nodiscard]] core::SystemConfig base_config(const CliOptions& opt);
 
 /// Strict parser: malformed values (non-numeric, empty, zero CPU counts,
 /// out-of-range) throw std::runtime_error with a message naming the flag.
@@ -159,8 +160,11 @@ class SweepRunner {
   explicit SweepRunner(unsigned threads) : threads_(threads) {}
 
   /// Queues a task. Tasks must not touch shared mutable state other than
-  /// the JsonReporter (which is capture-buffered for them).
-  void add(std::function<void()> task) { tasks_.push_back(std::move(task)); }
+  /// the JsonReporter (which is capture-buffered for them). Tasks follow
+  /// the kernel's allocation discipline: small nothrow-movable captures
+  /// ride in the InlineFn's 48-byte buffer, oversized ones box through
+  /// the FramePool — never the global allocator.
+  void add(sim::InlineFn task) { tasks_.push_back(std::move(task)); }
 
   [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
 
@@ -170,7 +174,7 @@ class SweepRunner {
 
  private:
   unsigned threads_;
-  std::vector<std::function<void()>> tasks_;
+  std::vector<sim::InlineFn> tasks_;
 };
 
 /// Fixed-width table printing helpers.

@@ -1,0 +1,276 @@
+// The cell kernels: each Kernel value dispatches to one simulation body.
+// These are the hand-rolled workloads of the former fig/ablation/extension
+// binaries, now driven by CellParams instead of their own main().
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench/scenario.hpp"
+#include "core/machine.hpp"
+#include "sim/timeout.hpp"
+#include "sync/barrier.hpp"
+#include "sync/lock.hpp"
+#include "sync/mechanism.hpp"
+
+namespace amo::bench {
+
+namespace {
+
+CellResult run_barrier_cell(const core::SystemConfig& cfg,
+                            const CellParams& p) {
+  BarrierParams bp;
+  bp.mech = p.mech;
+  bp.kind = p.kind;
+  bp.fanout = p.fanout;
+  bp.warmup_episodes = p.warmup_episodes;
+  bp.episodes = p.episodes;
+  bp.max_skew = p.max_skew;
+  const BarrierResult r = run_barrier(cfg, bp);
+  return CellResult{r.cycles_per_barrier, r.cycles_per_proc, r.traffic, 0};
+}
+
+CellResult run_lock_cell(const core::SystemConfig& cfg, const CellParams& p) {
+  LockParams lp;
+  lp.mech = p.mech;
+  lp.array = p.array;
+  lp.warmup_iters = p.warmup_iters;
+  lp.iters = p.iters;
+  lp.cs_cycles = p.cs_cycles;
+  lp.max_skew = p.max_skew;
+  const LockResult r = run_lock(cfg, lp);
+  return CellResult{r.total_cycles, r.cycles_per_acquire, r.traffic, 0};
+}
+
+// The paper's Figure 1 scenario: a three-processor barrier, one processor
+// per node, the variable homed on a fourth node, counting every one-way
+// protocol message until all three proceed.
+CellResult run_fig1_cell(const core::SystemConfig& cfg, const CellParams& p) {
+  const sync::Mechanism mech = p.mech;
+  core::Machine m(cfg);
+  const sim::Addr var = m.galloc().alloc_word_line(3);  // the home node
+
+  sim::Cycle done = 0;
+  for (sim::CpuId c = 0; c < 3; ++c) {
+    m.spawn(c, [&, mech](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await sync::fetch_add(mech, t, var, 1,
+                                     /*test=*/std::uint64_t{3});
+      if (mech == sync::Mechanism::kMao) {
+        while (co_await t.uncached_load(var) != 3) co_await t.delay(400);
+      } else {
+        while (co_await t.load(var) != 3) {
+          (void)co_await sim::with_timeout(
+              t.engine(), t.core().cache().line_event(var), 2000);
+        }
+      }
+      done = std::max(done, t.now());  // engine.now() would include
+                                       // harmless leftover timers
+    });
+  }
+  m.run();
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "fig1_episode";
+    rec["cpus"] = 3;
+    rec["mechanism"] = sync::to_string(mech);
+    rec["one_way_messages"] = m.stats().net.packets;
+    rec["cycles"] = done;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = static_cast<double>(done);
+  r.aux = m.stats().net.packets;
+  return r;
+}
+
+// K independent ticket locks all homed on node 0, each contended by a
+// disjoint processor group; past 2*K AMU cache words the AMU thrashes.
+CellResult run_multilock_cell(const core::SystemConfig& cfg,
+                              const CellParams& p) {
+  core::Machine m(cfg);
+  const int iters = p.iters;
+  // Each lock needs TWO AMU-resident words (sequencer + now_serving).
+  std::vector<std::unique_ptr<sync::Lock>> locks;
+  for (std::uint32_t l = 0; l < p.locks; ++l) {
+    locks.push_back(sync::make_ticket_lock(m, p.mech));
+  }
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    sync::Lock& lock = *locks[c % p.locks];
+    m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int it = 0; it < iters; ++it) {
+        co_await lock.acquire(t);
+        co_await t.compute(50);
+        co_await lock.release(t);
+        co_await t.compute(t.rng().below(200));
+      }
+    });
+  }
+  m.run();
+  CellResult r;
+  r.primary = static_cast<double>(m.engine().now());
+  return r;
+}
+
+CellResult run_ticket_backoff_cell(const core::SystemConfig& cfg,
+                                   const CellParams& p) {
+  core::Machine m(cfg);
+  const int iters = p.iters;
+  sync::TicketLockConfig lcfg;
+  lcfg.backoff = p.backoff;
+  auto lock = sync::make_ticket_lock(m, p.mech, lcfg);
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int i2 = 0; i2 < iters; ++i2) {
+        co_await lock->acquire(t);
+        co_await t.compute(50);
+        co_await lock->release(t);
+        co_await t.compute(t.rng().below(200));
+      }
+    });
+  }
+  m.run();
+  CellResult r;
+  r.primary = static_cast<double>(m.engine().now());
+  return r;
+}
+
+// Groups of four: cpu 4k produces through an AMO flag; cpus 4k+1..4k+3
+// consume. Each flag has exactly three cached sharers regardless of
+// machine size, so an exact directory entry fans each put out to ~2 nodes
+// while a coarse (pointer-overflowed) entry must touch every node.
+CellResult run_pairwise_flags_cell(const core::SystemConfig& cfg,
+                                   const CellParams& p) {
+  core::Machine m(cfg);
+  const int rounds = p.rounds;
+  const std::uint32_t groups = cfg.num_cpus / 4;
+  std::vector<sim::Addr> flags;
+  for (std::uint32_t k = 0; k < groups; ++k) {
+    flags.push_back(m.galloc().alloc_word_line(
+        (4 * k + 1) / cfg.cpus_per_node));  // homed near the consumers
+  }
+  for (std::uint32_t k = 0; k < groups; ++k) {
+    m.spawn(4 * k, [&, k, rounds](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int r = 0; r < rounds; ++r) {
+        co_await t.compute(300);
+        (void)co_await t.amo_fetch_add(flags[k], 1);
+      }
+    });
+    for (std::uint32_t j = 1; j <= 3; ++j) {
+      m.spawn(4 * k + j,
+              [&, k, rounds](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int r = 1; r <= rounds; ++r) {
+          while (co_await t.load(flags[k]) <
+                 static_cast<std::uint64_t>(r)) {
+            co_await t.delay(200);
+          }
+          co_await t.compute(100);
+        }
+      });
+    }
+  }
+  m.run();
+  CellResult res;
+  res.primary = static_cast<double>(m.engine().now());
+  res.aux = m.stats().dir.word_updates_sent;
+  return res;
+}
+
+CellResult run_barrier_style_cell(const core::SystemConfig& cfg,
+                                  const CellParams& p) {
+  core::Machine m(cfg);
+  const int episodes = p.episodes;
+  std::unique_ptr<sync::Barrier> barrier;
+  switch (p.style) {
+    case BarrierStyle::kNaive:
+      barrier = sync::make_naive_barrier(m, p.mech, cfg.num_cpus);
+      break;
+    case BarrierStyle::kOptimized:
+      barrier = sync::make_central_barrier(m, p.mech, cfg.num_cpus);
+      break;
+    case BarrierStyle::kDissemination:
+      barrier = sync::make_dissemination_barrier(m, p.mech, cfg.num_cpus);
+      break;
+    case BarrierStyle::kMcsTree:
+      barrier = sync::make_mcs_tree_barrier(m, p.mech, cfg.num_cpus);
+      break;
+  }
+  sim::Cycle t0 = 0;
+  sim::Cycle t1 = 0;
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&, c, episodes](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < episodes + 2; ++ep) {
+        co_await t.compute(t.rng().below(200));
+        co_await barrier->wait(t);
+        if (c == 0 && ep == 1) t0 = t.now();
+        if (c == 0 && ep == episodes + 1) t1 = t.now();
+      }
+    });
+  }
+  m.run();
+  CellResult r;
+  r.primary = static_cast<double>(t1 - t0) / episodes;
+  return r;
+}
+
+CellResult run_lock_algo_cell(const core::SystemConfig& cfg,
+                              const CellParams& p) {
+  core::Machine m(cfg);
+  const int iters = p.iters;
+  std::unique_ptr<sync::Lock> lock;
+  switch (p.algo) {
+    case LockAlgo::kTas: lock = sync::make_tas_lock(m, p.mech); break;
+    case LockAlgo::kTicket: lock = sync::make_ticket_lock(m, p.mech); break;
+    case LockAlgo::kArray:
+      lock = sync::make_array_lock(m, p.mech, cfg.num_cpus);
+      break;
+    case LockAlgo::kMcs: lock = sync::make_mcs_lock(m, p.mech); break;
+  }
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        co_await lock->acquire(t);
+        co_await t.compute(50);
+        co_await lock->release(t);
+        co_await t.compute(t.rng().below(200));
+      }
+    });
+  }
+  m.run();
+  const double total = static_cast<double>(m.engine().now());
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "lock_algo";
+    rec["cpus"] = cfg.num_cpus;
+    rec["mechanism"] = sync::to_string(p.mech);
+    rec["lock"] = to_string(p.algo);
+    rec["iters"] = iters;
+    rec["total_cycles"] = total;
+    rec["traffic"]["packets"] = m.network().stats().packets;
+    rec["traffic"]["bytes"] = m.network().stats().bytes;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = total;
+  return r;
+}
+
+}  // namespace
+
+CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
+  switch (params.kernel) {
+    case Kernel::kBarrier: return run_barrier_cell(cfg, params);
+    case Kernel::kLock: return run_lock_cell(cfg, params);
+    case Kernel::kLockAlgo: return run_lock_algo_cell(cfg, params);
+    case Kernel::kTicketBackoff: return run_ticket_backoff_cell(cfg, params);
+    case Kernel::kFig1Episode: return run_fig1_cell(cfg, params);
+    case Kernel::kMultiLock: return run_multilock_cell(cfg, params);
+    case Kernel::kPairwiseFlags: return run_pairwise_flags_cell(cfg, params);
+    case Kernel::kBarrierStyle: return run_barrier_style_cell(cfg, params);
+  }
+  return {};
+}
+
+}  // namespace amo::bench

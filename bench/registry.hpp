@@ -1,0 +1,53 @@
+// WorkloadRegistry: every former bench binary as a named entry that
+// builds a SweepSpec from the CLI options and formats the resulting
+// cells. The driver resolves names (current or legacy), `list` walks the
+// table, and scenario files reuse a workload's printer by naming it.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bench/scenario.hpp"
+
+namespace amo::bench {
+
+struct Workload {
+  const char* name;         // registry name: "table2"
+  const char* legacy_name;  // pre-registry binary / JSON doc: "table2_barriers"
+  const char* description;  // one line for `amo_bench list`
+  SweepSpec (*build)(const CliOptions& opt);
+  void (*print)(const SweepSpec& spec, std::span<const CellResult> results);
+};
+
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry, seeded with the built-in workloads.
+  static WorkloadRegistry& instance();
+
+  void add(const Workload& w) { workloads_.push_back(w); }
+  /// Lookup by registry name or legacy binary name; nullptr when absent.
+  [[nodiscard]] const Workload* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<Workload>& all() const {
+    return workloads_;
+  }
+
+ private:
+  WorkloadRegistry();
+  std::vector<Workload> workloads_;
+};
+
+/// Defined in workloads.cpp; registers the 17 built-in workloads.
+void register_builtin_workloads(WorkloadRegistry& reg);
+
+// The one place the per-main copies of CLI-default plumbing collapsed
+// into: every builder resolves its sweep axes through these.
+/// --quick trims to `quick` (when the workload has a quick list),
+/// otherwise --cpus wins, otherwise the workload default.
+[[nodiscard]] std::vector<std::uint32_t> resolved_cpus(
+    const CliOptions& opt, std::vector<std::uint32_t> dflt,
+    std::vector<std::uint32_t> quick = {});
+[[nodiscard]] int resolved_episodes(const CliOptions& opt, int dflt = 8);
+[[nodiscard]] int resolved_iters(const CliOptions& opt, int dflt = 6);
+
+}  // namespace amo::bench

@@ -1,0 +1,118 @@
+// The scenario layer: experiments as data. A SweepSpec is a declarative
+// list of cells — (config-delta, kernel-params) pairs — that the runner
+// feeds through SweepRunner/JsonReporter. Every former bench binary is a
+// registered builder producing one of these; a JSON scenario file
+// deserializes into exactly the same structure, so `amo_bench run
+// --spec=file.json` and a named run share every code path after parsing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+namespace amo::bench {
+
+/// The simulation kernels a cell can run. kBarrier/kLock are the paper's
+/// main harness loops; the rest are the hand-rolled workloads of the
+/// figure/ablation benches, parameterized.
+enum class Kernel : std::uint8_t {
+  kBarrier,        // run_barrier: central/tree barrier episodes
+  kLock,           // run_lock: ticket/array lock acquire loop
+  kLockAlgo,       // extension: tas/ticket/array/mcs algorithm matrix
+  kTicketBackoff,  // ticket lock with TicketBackoff policy, total cycles
+  kFig1Episode,    // the paper's Fig. 1 three-processor episode
+  kMultiLock,      // K independent AMO ticket locks homed on node 0
+  kPairwiseFlags,  // producer/consumer AMO flags (sparse sharing)
+  kBarrierStyle,   // naive/optimized/dissemination/mcs-tree codings
+};
+
+enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs };
+enum class BarrierStyle : std::uint8_t {
+  kNaive, kOptimized, kDissemination, kMcsTree,
+};
+
+[[nodiscard]] const char* to_string(Kernel k);
+[[nodiscard]] const char* to_string(LockAlgo a);
+[[nodiscard]] const char* to_string(BarrierStyle s);
+
+/// Union of every kernel's parameters; each kernel reads its slice and
+/// ignores the rest. Defaults mirror BarrierParams/LockParams so a cell
+/// that says nothing behaves like the pre-registry binaries.
+struct CellParams {
+  Kernel kernel = Kernel::kBarrier;
+  sync::Mechanism mech = sync::Mechanism::kLlSc;
+  // kBarrier
+  BarrierKind kind = BarrierKind::kCentral;
+  std::uint32_t fanout = 4;
+  int warmup_episodes = 2;
+  int episodes = 8;
+  std::uint64_t max_skew = 200;
+  // kLock
+  bool array = false;
+  int warmup_iters = 1;
+  int iters = 6;
+  sim::Cycle cs_cycles = 50;
+  // kLockAlgo / kTicketBackoff
+  LockAlgo algo = LockAlgo::kTicket;
+  sync::TicketBackoff backoff = sync::TicketBackoff::kNone;
+  // kMultiLock
+  std::uint32_t locks = 1;
+  // kPairwiseFlags
+  int rounds = 10;
+  // kBarrierStyle
+  BarrierStyle style = BarrierStyle::kOptimized;
+};
+
+/// What every kernel reports. Which fields are meaningful depends on the
+/// kernel; `primary` is always its headline cycles metric.
+struct CellResult {
+  double primary = 0;    // cycles per barrier / total cycles
+  double secondary = 0;  // cycles per proc / per acquire (barrier/lock)
+  TrafficSnapshot traffic;
+  std::uint64_t aux = 0;  // fig1: one-way messages; pairwise: update msgs
+};
+
+/// One dotted-path config override, e.g. {"net.hop_cycles", 400}.
+struct ConfigDelta {
+  std::string key;
+  sim::Json value;
+};
+
+struct Cell {
+  std::vector<ConfigDelta> set;  // applied to the base config, in order
+  CellParams params;
+};
+
+struct SweepSpec {
+  std::string workload;     // registry name ("" for ad-hoc scenarios)
+  std::string bench_name;   // JsonReporter document name
+  sim::Json base_config;    // null, or overrides under every cell
+  sim::Json meta;           // data the row/column formatter reads
+  std::vector<Cell> cells;  // flat, in serial record order
+};
+
+/// Runs one cell's kernel on a fully-built config. Record emission (for
+/// --json) happens inside, exactly as the pre-registry binaries did it.
+[[nodiscard]] CellResult run_cell(const core::SystemConfig& cfg,
+                                  const CellParams& params);
+
+/// Materializes each cell's config (base + deltas, validated — a
+/// core::ConfigError here is prefixed with the cell index), then runs
+/// every cell across `threads` workers in deterministic record order.
+[[nodiscard]] std::vector<CellResult> run_spec(
+    const SweepSpec& spec, const core::SystemConfig& base, unsigned threads);
+
+/// Spec <-> JSON. to_json omits defaulted params; from_json rejects
+/// unknown keys/enum tokens with messages naming the cell and field.
+[[nodiscard]] sim::Json spec_to_json(const SweepSpec& spec);
+[[nodiscard]] SweepSpec spec_from_json(const sim::Json& j);
+
+/// One-line-per-cell formatter for ad-hoc scenario files.
+void print_generic(const SweepSpec& spec, std::span<const CellResult> r);
+
+}  // namespace amo::bench

@@ -13,6 +13,13 @@ const char* to_string(Mechanism m) {
   return "?";
 }
 
+std::optional<Mechanism> mechanism_from_string(std::string_view name) {
+  for (Mechanism m : kAllMechanisms) {
+    if (name == to_string(m)) return m;
+  }
+  return std::nullopt;
+}
+
 sim::Task<std::uint64_t> fetch_add(Mechanism m, core::ThreadCtx& t,
                                    sim::Addr addr, std::uint64_t delta,
                                    std::optional<std::uint64_t> test) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "core/thread_ctx.hpp"
 #include "sim/task.hpp"
@@ -24,6 +25,12 @@ inline constexpr Mechanism kAllMechanisms[] = {
     Mechanism::kMao, Mechanism::kAmo};
 
 [[nodiscard]] const char* to_string(Mechanism m);
+
+/// Inverse of to_string ("LL/SC", "Atomic", "ActMsg", "MAO", "AMO");
+/// nullopt for anything else. Scenario files name mechanisms with the
+/// same tokens the reports print.
+[[nodiscard]] std::optional<Mechanism> mechanism_from_string(
+    std::string_view name);
 
 /// Atomic fetch-and-add through the chosen mechanism. `test` is only
 /// meaningful for kAmo, where it selects the delayed-put policy (the

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench/harness.hpp"
+#include "core/config_io.hpp"
 
 namespace amo::bench {
 namespace {
@@ -110,6 +111,58 @@ TEST(Cli, ParsesJsonPath) {
   const CliOptions opt = parse({"--json=/tmp/out.json"});
   EXPECT_EQ(opt.json_path, "/tmp/out.json");
   EXPECT_THROW(parse({"--json="}), std::runtime_error);
+}
+
+TEST(Cli, ParsesSetOverrides) {
+  const CliOptions opt = parse({"--set=dir.three_hop=true", "--set",
+                                "amu.cache_words=8"});
+  ASSERT_EQ(opt.sets.size(), 2u);
+  EXPECT_EQ(opt.sets[0].first, "dir.three_hop");
+  EXPECT_EQ(opt.sets[0].second, "true");
+  EXPECT_EQ(opt.sets[1].first, "amu.cache_words");
+  EXPECT_EQ(opt.sets[1].second, "8");
+  EXPECT_THROW(parse({"--set=novalue"}), std::runtime_error);
+  EXPECT_THROW(parse({"--set==5"}), std::runtime_error);
+  EXPECT_THROW(parse({"--set=key="}), std::runtime_error);
+  EXPECT_THROW(parse({"--set"}), std::runtime_error);
+}
+
+TEST(Cli, ParsesConfigPath) {
+  const CliOptions opt = parse({"--config=/tmp/cfg.json"});
+  EXPECT_EQ(opt.config_path, "/tmp/cfg.json");
+  EXPECT_THROW(parse({"--config="}), std::runtime_error);
+}
+
+// Regression: base_config() used to apply only --seed; --config and
+// --set were accepted by some mains and silently dropped by others.
+TEST(BaseConfig, AppliesConfigFileSetsAndSeedInOrder) {
+  const std::string path = ::testing::TempDir() + "base_config_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"seed": 7, "dir": {"occupancy_cycles": 21}})";
+  }
+  CliOptions opt;
+  opt.config_path = path;
+  opt.sets.emplace_back("amu.cache_words", "16");
+  opt.sets.emplace_back("seed", "8");  // overrides the file...
+  opt.seed = 99;                       // ...and --seed overrides --set
+  const core::SystemConfig cfg = base_config(opt);
+  EXPECT_EQ(cfg.dir.occupancy_cycles, 21u);
+  EXPECT_EQ(cfg.amu.cache_words, 16u);
+  EXPECT_EQ(cfg.seed, 99u);
+  std::remove(path.c_str());
+}
+
+TEST(BaseConfig, RejectsUnknownKeysAndInvalidResults) {
+  CliOptions bad_key;
+  bad_key.sets.emplace_back("dir.occupnacy", "3");
+  EXPECT_THROW((void)base_config(bad_key), core::ConfigError);
+  CliOptions bad_value;
+  bad_value.sets.emplace_back("amu.cache_words", "0");
+  EXPECT_THROW((void)base_config(bad_value), core::ConfigError);
+  CliOptions missing_file;
+  missing_file.config_path = "/no/such/config.json";
+  EXPECT_THROW((void)base_config(missing_file), std::runtime_error);
 }
 
 TEST(PaperCpuCounts, MatchesPaperAxes) {
