@@ -11,6 +11,7 @@
 #include "sync/barrier.hpp"
 #include "sync/lock.hpp"
 #include "sync/mechanism.hpp"
+#include "sync/spin.hpp"
 
 namespace amo::bench {
 
@@ -257,6 +258,72 @@ CellResult run_lock_algo_cell(const core::SystemConfig& cfg,
   return r;
 }
 
+// Spin-wait virtualization cost model: `active` cpus run central-barrier
+// episodes while every other cpu busy-waits on a flag that only flips
+// after the last episode. With the default fallback re-poll, every idle
+// waiter wakes a few times per episode, so host events per episode grow
+// with TOTAL cpus; with spin.recheck_cycles=0 (quiesce) parked waiters
+// are event-free and the per-episode cost tracks the ACTIVE set.
+CellResult run_spin_cell(const core::SystemConfig& cfg, const CellParams& p) {
+  core::Machine m(cfg);
+  const std::uint32_t active =
+      p.active == 0 ? cfg.num_cpus : std::min(p.active, cfg.num_cpus);
+  const int episodes = p.episodes;
+  auto barrier = sync::make_central_barrier(m, p.mech, active);
+  const sim::Addr done_flag = m.galloc().alloc_word_line(0);
+
+  sim::Cycle t0 = 0;
+  sim::Cycle t1 = 0;
+  std::uint64_t e0 = 0;
+  std::uint64_t e1 = 0;
+  for (sim::CpuId c = 0; c < active; ++c) {
+    m.spawn(c, [&, c, episodes](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < episodes + 2; ++ep) {
+        if (p.max_skew != 0) co_await t.compute(t.rng().below(p.max_skew));
+        co_await barrier->wait(t);
+        if (c == 0 && ep == 1) {
+          t0 = t.now();
+          e0 = m.engine().real_events_executed();
+        }
+        if (c == 0 && ep == episodes + 1) {
+          t1 = t.now();
+          e1 = m.engine().real_events_executed();
+        }
+      }
+      if (c == 0) co_await t.store(done_flag, 1);
+    });
+  }
+  for (sim::CpuId c = active; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      (void)co_await sync::spin_cached_until(
+          t, done_flag, [](std::uint64_t v) { return v != 0; });
+    });
+  }
+  m.run();
+
+  const double cycles_per_ep = static_cast<double>(t1 - t0) / episodes;
+  const double events_per_ep = static_cast<double>(e1 - e0) / episodes;
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "microbench_spin";
+    rec["cpus"] = cfg.num_cpus;
+    rec["active"] = active;
+    rec["mechanism"] = sync::to_string(p.mech);
+    rec["episodes"] = episodes;
+    rec["quiesce"] = cfg.spin.recheck_cycles == 0;
+    rec["cycles_per_episode"] = cycles_per_ep;
+    rec["events_per_episode"] = events_per_ep;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = cycles_per_ep;
+  r.secondary = events_per_ep;
+  r.aux = e1 - e0;
+  return r;
+}
+
 }  // namespace
 
 CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
@@ -269,6 +336,7 @@ CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
     case Kernel::kMultiLock: return run_multilock_cell(cfg, params);
     case Kernel::kPairwiseFlags: return run_pairwise_flags_cell(cfg, params);
     case Kernel::kBarrierStyle: return run_barrier_style_cell(cfg, params);
+    case Kernel::kSpin: return run_spin_cell(cfg, params);
   }
   return {};
 }

@@ -24,6 +24,7 @@ constexpr EnumEntry<Kernel> kKernelNames[] = {
     {Kernel::kMultiLock, "multilock"},
     {Kernel::kPairwiseFlags, "pairwise_flags"},
     {Kernel::kBarrierStyle, "barrier_style"},
+    {Kernel::kSpin, "spin"},
 };
 constexpr EnumEntry<LockAlgo> kAlgoNames[] = {
     {LockAlgo::kTas, "tas"},
@@ -122,6 +123,7 @@ sim::Json params_to_json(const CellParams& p) {
   if (p.locks != d.locks) j["locks"] = p.locks;
   if (p.rounds != d.rounds) j["rounds"] = p.rounds;
   if (p.style != d.style) j["style"] = enum_name(kStyleNames, p.style);
+  if (p.active != d.active) j["active"] = p.active;
   return j;
 }
 
@@ -172,11 +174,14 @@ CellParams params_from_json(const sim::Json& j) {
       p.rounds = int_value(f, v);
     } else if (key == "style") {
       p.style = enum_value(kStyleNames, f, v);
+    } else if (key == "active") {
+      p.active = static_cast<std::uint32_t>(uint_value(f, v));
     } else {
       throw std::runtime_error(
           f + ": unknown parameter; candidates: kernel, mech, kind, fanout, "
               "warmup_episodes, episodes, max_skew, array, warmup_iters, "
-              "iters, cs_cycles, algo, backoff, locks, rounds, style");
+              "iters, cs_cycles, algo, backoff, locks, rounds, style, "
+              "active");
     }
   }
   return p;

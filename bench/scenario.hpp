@@ -29,6 +29,7 @@ enum class Kernel : std::uint8_t {
   kMultiLock,      // K independent AMO ticket locks homed on node 0
   kPairwiseFlags,  // producer/consumer AMO flags (sparse sharing)
   kBarrierStyle,   // naive/optimized/dissemination/mcs-tree codings
+  kSpin,           // spin-virtualization cost: barrier + idle busy-waiters
 };
 
 enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs };
@@ -66,6 +67,8 @@ struct CellParams {
   int rounds = 10;
   // kBarrierStyle
   BarrierStyle style = BarrierStyle::kOptimized;
+  // kSpin: cpus in the barrier set; the rest busy-wait. 0 = all.
+  std::uint32_t active = 0;
 };
 
 /// What every kernel reports. Which fields are meaningful depends on the

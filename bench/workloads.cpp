@@ -1,4 +1,5 @@
-// The 17 former bench binaries as registry entries. Each entry is a
+// The 18 built-in workloads (the 17 former bench binaries plus
+// microbench_spin) as registry entries. Each entry is a
 // builder (CLI options -> declarative SweepSpec) and a printer (cells ->
 // the exact table the old binary printed). Paper reference values live in
 // the printers' footers, where the old mains kept them.
@@ -735,6 +736,68 @@ void print_extension_locks(const SweepSpec& s, std::span<const CellResult> r) {
               "argument).\n");
 }
 
+// --------------------------------------------------- microbench_spin
+// Spin-wait virtualization: an AMO central barrier among `active` cpus
+// with every remaining cpu busy-waiting. Each active count runs twice —
+// fallback re-poll (default) vs quiesce (spin.recheck_cycles=0) — so the
+// table shows host events per episode collapsing from O(total cpus) to
+// O(active cpus) while simulated cycles stay put.
+SweepSpec build_microbench_spin(const CliOptions& opt) {
+  const auto cpus = resolved_cpus(opt, {256}, {64});
+  const std::uint32_t p = cpus.front();
+  const int episodes = resolved_episodes(opt, 8);
+  SweepSpec s{"microbench_spin", "microbench_spin", {}, {}, {}};
+  std::vector<std::uint32_t> actives;
+  for (std::uint32_t a = std::max(2u, p / 16); a < p; a *= 4) {
+    actives.push_back(a);
+  }
+  actives.push_back(p);
+  sim::Json ja = sim::Json::array();
+  for (std::uint32_t a : actives) ja.push_back(a);
+  s.meta["cpus"] = cpus_json({p});
+  s.meta["actives"] = std::move(ja);
+  for (std::uint32_t a : actives) {
+    for (const bool quiesce : {false, true}) {
+      Cell c = cell(p, {});
+      c.params.kernel = Kernel::kSpin;
+      c.params.mech = Mechanism::kAmo;
+      c.params.episodes = episodes;
+      c.params.active = a;
+      if (quiesce) {
+        c.set.push_back({"spin.recheck_cycles", sim::Json(std::uint64_t{0})});
+      }
+      s.cells.push_back(std::move(c));
+    }
+  }
+  return s;
+}
+
+void print_microbench_spin(const SweepSpec& s,
+                           std::span<const CellResult> r) {
+  std::uint32_t p = 0;
+  if (const sim::Json* a = s.meta.find("cpus"); a != nullptr) {
+    p = static_cast<std::uint32_t>(a->elements().front().as_uint());
+  }
+  std::printf("\n== Microbench: spin-wait virtualization at P = %u "
+              "(AMO central barrier + idle busy-waiters) ==\n", p);
+  std::printf("%-8s %18s %18s %18s %18s\n", "active", "events/ep (poll)",
+              "events/ep (quiet)", "cycles/ep (poll)", "cycles/ep (quiet)");
+  const std::size_t rows = r.size() / 2;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const CellResult& poll = r[2 * i];
+    const CellResult& quiet = r[2 * i + 1];
+    std::uint32_t a = 0;
+    if (const sim::Json* ja = s.meta.find("actives"); ja != nullptr) {
+      a = static_cast<std::uint32_t>(ja->elements()[i].as_uint());
+    }
+    std::printf("%-8u %18.0f %18.0f %18.0f %18.0f\n", a, poll.secondary,
+                quiet.secondary, poll.primary, quiet.primary);
+  }
+  std::printf("\nexpected shape: quiesced events/episode track the active "
+              "set (near-flat in total P), polled events grow with every "
+              "parked cpu's fallback timer; cycles agree between modes.\n");
+}
+
 }  // namespace
 
 void register_builtin_workloads(WorkloadRegistry& reg) {
@@ -789,6 +852,9 @@ void register_builtin_workloads(WorkloadRegistry& reg) {
   reg.add({"extension_locks", "extension_locks",
            "tas/ticket/array/mcs locks across every mechanism",
            build_extension_locks, print_extension_locks});
+  reg.add({"microbench_spin", "microbench_spin",
+           "spin-wait virtualization: events/episode vs active cpus",
+           build_microbench_spin, print_microbench_spin});
 }
 
 }  // namespace amo::bench

@@ -13,6 +13,8 @@
 // invalidation, a stolen line) is resolved by retrying.
 #pragma once
 
+#include <cassert>
+#include <coroutine>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +41,11 @@ struct CacheCtrlConfig {
   /// Latency to service an external probe (recall / invalidation): tag
   /// lookup, state machine, and response queueing at the cache.
   sim::Cycle probe_resp_cycles = 40;
+  /// Quiesce mode (spin recheck disabled): also wake parked spinners on
+  /// line eviction and on word updates for absent lines. Those paths are
+  /// lost-wakeup holes that the fallback re-poll timer papers over in
+  /// default mode; with no timer they must wake through events.
+  bool spin_wake_all = false;
 };
 
 struct CacheCtrlStats {
@@ -101,9 +108,57 @@ class CacheCtrl final : public CacheIface {
   /// can slip between the poll and the registration.
   [[nodiscard]] sim::Future<std::uint64_t> line_event(sim::Addr addr);
 
+  /// Parks the calling coroutine on `addr`'s line until the next
+  /// coherence event touching it. Unlike line_event, the registration is
+  /// persistent: a spin that re-polls K times on its fallback timer (see
+  /// park_timeout) re-arms the same entry instead of stacking K stale
+  /// waiters. Wake-up replays the exact zero-cycle event geometry of the
+  /// per-poll line_event scheme (`stale` pad events, then a two-event
+  /// resume chain), so default-mode runs stay byte-identical to it.
+  struct ParkAwaiter {
+    CacheCtrl& ctrl;
+    sim::Addr block;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      SpinPark& s = ctrl.parked_.get_or_create(block);
+      assert(!s.h && "one parked spinner per line per cache controller");
+      s.h = h;
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] ParkAwaiter park(sim::Addr addr) {
+    return ParkAwaiter{*this, l2_.line_base(addr)};
+  }
+  /// Fallback-timer path: detaches the parked handle (the spinner is
+  /// about to re-poll) and records one stale pad, mirroring the stale
+  /// waiter the old scheme would have left behind. Returns the handle to
+  /// resume, or null if nothing is parked.
+  std::coroutine_handle<> park_timeout(sim::Addr addr);
+  /// Drops the park entry once the spin is satisfied (or torn down).
+  void unpark(sim::Addr addr) { parked_.erase(l2_.line_base(addr)); }
+
+  /// Quiesce-mode accounting: folds `polls` elided fallback re-polls into
+  /// the counters they would have bumped (an L1-hit load is an L2 read).
+  void account_spin_polls(std::uint64_t polls) {
+    stats_.loads += polls;
+    l2_.stats().hits += polls;
+  }
+  /// Cost of one cached re-poll (L1 hit latency); quiesce accounting uses
+  /// it to reconstruct the fallback re-poll cadence.
+  [[nodiscard]] sim::Cycle poll_cycles() const { return config_.l1_cycles; }
+
+  // -------------------------------------- waiter-leak introspection
+  [[nodiscard]] std::size_t parked_entries() const { return parked_.size(); }
+  [[nodiscard]] std::size_t line_waiter_entries() const {
+    return line_waiters_.size();
+  }
+
   // ---------------------------------------------------- introspection
   [[nodiscard]] sim::CpuId cpu() const { return cpu_; }
   [[nodiscard]] sim::NodeId node() const { return node_; }
+  [[nodiscard]] sim::Addr line_base(sim::Addr addr) const {
+    return l2_.line_base(addr);
+  }
   [[nodiscard]] mem::Cache& l2() { return l2_; }
   [[nodiscard]] const mem::Cache& l2() const { return l2_; }
   [[nodiscard]] const CacheCtrlStats& stats() const { return stats_; }
@@ -125,6 +180,15 @@ class CacheCtrl final : public CacheIface {
   };
   struct LineWait {
     ds::WaitPool<sim::Promise<std::uint64_t>>::Queue waiters;
+    std::uint32_t next_free = ds::kNilIndex;
+  };
+  // A parked spinner: one persistent entry per (line, controller), alive
+  // across fallback re-polls. `stale` counts timer-detached re-polls since
+  // the last line event — the pads owed at the next notify (they stand in
+  // for the stale waiters the per-poll scheme would have flushed).
+  struct SpinPark {
+    std::coroutine_handle<> h;
+    std::uint32_t stale = 0;
     std::uint32_t next_free = ds::kNilIndex;
   };
 
@@ -159,6 +223,7 @@ class CacheCtrl final : public CacheIface {
   mem::TagCache l1_;
   ds::AddrTable<Mshr> mshr_;
   ds::AddrTable<LineWait> line_waiters_;
+  ds::AddrTable<SpinPark> parked_;
   ds::WaitPool<sim::Promise<std::uint64_t>> waiter_pool_;
 
   bool link_valid_ = false;

@@ -10,6 +10,15 @@ namespace amo::core {
 Machine::Machine(const SystemConfig& config)
     : config_(config), backing_(config.line_bytes()), rng_(config.seed) {
   const std::uint32_t nodes = config_.num_nodes();
+  // Spin quiescence touches two subsystems: the cache controller must
+  // close its lost-wakeup holes once the fallback re-poll timer is gone,
+  // and the directory must accept word-watch registrations when uncached
+  // or LL/SC spins park at the home node. Both stay inert by default.
+  const bool quiesce = config_.spin.recheck_cycles == 0;
+  const bool watch = config_.spin.uncached_watch ||
+                     config_.spin.llsc_watch_after != 0;
+  config_.cache.spin_wake_all = quiesce;
+  config_.dir.word_watch = watch;
   net::NetConfig net_cfg = config_.net;
   net_cfg.num_nodes = nodes;
   // A single-node machine still needs a valid (degenerate) topology.
@@ -45,8 +54,8 @@ Machine::Machine(const SystemConfig& config)
     cores_.push_back(std::make_unique<cpu::Core>(
         engine_, *wiring_, agents_, devices_, c, core_cfg, &tracer_));
     agents_.caches[c] = &cores_[c]->cache();
-    ctxs_.push_back(
-        std::make_unique<ThreadCtx>(*cores_[c], engine_, rng_.split()));
+    ctxs_.push_back(std::make_unique<ThreadCtx>(*cores_[c], engine_,
+                                                rng_.split(), config_.spin));
   }
 
   amus_.reserve(nodes);
@@ -80,6 +89,13 @@ Machine::Machine(const SystemConfig& config)
   for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
     cores_[c]->cache().register_stats(registry_,
                                       "cpu" + std::to_string(c) + ".cache");
+  }
+  if (quiesce || watch) {
+    // Conditional so default-mode registry dumps stay byte-identical.
+    for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
+      ctxs_[c]->register_spin_stats(registry_,
+                                    "cpu" + std::to_string(c) + ".spin");
+    }
   }
 }
 

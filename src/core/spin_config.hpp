@@ -1,0 +1,49 @@
+// Spin-wait virtualization knobs (ROADMAP: "make waiting free").
+//
+// Default values reproduce the paper-parity behaviour exactly: cached
+// spins sleep on the cache controller's line events with a 2000-cycle
+// fallback re-poll, uncached (MAO-style) spins genuinely poll. The
+// quiesce settings trade those residual polls for directory/AMU wake
+// events plus synthesized accounting, making the simulated cost of
+// waiting proportional to the traffic that ends the wait.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace amo::core {
+
+struct SpinConfig {
+  /// Fallback re-poll period for event-driven cached spins. 0 = quiesce:
+  /// no fallback timer at all; wake-ups come purely from coherence events
+  /// (plus the eviction / absent-line update hooks in the cache
+  /// controller, and the directory word-watch for uncached spins).
+  sim::Cycle recheck_cycles = 2000;
+
+  /// When quiescing, synthesize the counters the elided fallback re-polls
+  /// would have produced (loads, L2 hits, event pushes/executes, and the
+  /// final pending-timer no-op that pins end-of-run time), so statistics
+  /// stay comparable with — and in collision-free runs byte-identical
+  /// to — non-quiesced runs.
+  bool exact_accounting = true;
+
+  /// Route uncached (MAO-style) spin polls through the home directory's
+  /// word-watch: register once with the last-seen value, wake on the next
+  /// uncached/AMU write to the word. Polls elided between wakes are
+  /// counted in the per-cpu spin stats.
+  bool uncached_watch = false;
+
+  /// Liveness fallback re-poll period while an uncached word-watch is
+  /// registered (covers watch-table overflow or wake loss; ABA on
+  /// non-monotonic words).
+  sim::Cycle watch_repoll_cycles = 1u << 16;
+
+  /// After this many consecutive LL/SC or CAS retry failures, wait for
+  /// home-node activity on the block (word-watch ping) before retrying
+  /// instead of re-fetching immediately. 0 = retry immediately (default,
+  /// paper-parity).
+  std::uint32_t llsc_watch_after = 0;
+};
+
+}  // namespace amo::core

@@ -9,6 +9,7 @@
 #include "amu/amu.hpp"
 #include "coh/cache_ctrl.hpp"
 #include "coh/directory.hpp"
+#include "core/spin_config.hpp"
 #include "cpu/am_server.hpp"
 #include "mem/dram.hpp"
 #include "net/network.hpp"
@@ -27,6 +28,7 @@ struct SystemConfig {
   amu::AmuConfig amu;           // AMU cache size, op latency, put policy
   cpu::AmServerConfig am_server;
   sim::Cycle am_timeout_cycles = 20000;
+  SpinConfig spin;  // spin-wait virtualization / quiescence knobs
 
   /// On-node hub traversal (CPU <-> directory/AMU on the same die).
   sim::Cycle local_cycles = 24;

@@ -8,17 +8,30 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
+#include "core/spin_config.hpp"
 #include "cpu/core.hpp"
 #include "sim/rng.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/task.hpp"
 
 namespace amo::core {
 
+/// Per-thread spin-virtualization counters. Registered into the stats
+/// registry only when a quiesce feature is enabled, so default-mode
+/// registry dumps are unchanged.
+struct SpinStats {
+  std::uint64_t parked_wakes = 0;   // cached-spin event-driven wake-ups
+  std::uint64_t elided_polls = 0;   // polls quiescence never issued
+  std::uint64_t watch_waits = 0;    // uncached word-watch registrations
+};
+
 class ThreadCtx {
  public:
-  ThreadCtx(cpu::Core& core, sim::Engine& engine, sim::Rng rng)
-      : core_(core), engine_(engine), rng_(rng) {}
+  ThreadCtx(cpu::Core& core, sim::Engine& engine, sim::Rng rng,
+            const SpinConfig& spin = SpinConfig{})
+      : core_(core), engine_(engine), rng_(rng), spin_(spin) {}
 
   [[nodiscard]] sim::CpuId cpu() const { return core_.cpu(); }
   [[nodiscard]] sim::NodeId node() const { return core_.node(); }
@@ -26,6 +39,16 @@ class ThreadCtx {
   [[nodiscard]] cpu::Core& core() { return core_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] sim::Cycle now() const { return engine_.now(); }
+
+  /// Spin-wait virtualization knobs (machine-wide; see SpinConfig).
+  [[nodiscard]] const SpinConfig& spin() const { return spin_; }
+  [[nodiscard]] SpinStats& spin_stats() { return spin_stats_; }
+  void register_spin_stats(sim::StatsRegistry& reg,
+                           const std::string& prefix) const {
+    reg.add_counter(prefix + ".parked_wakes", &spin_stats_.parked_wakes);
+    reg.add_counter(prefix + ".elided_polls", &spin_stats_.elided_polls);
+    reg.add_counter(prefix + ".watch_waits", &spin_stats_.watch_waits);
+  }
 
   // ---- coherent memory ----
   sim::Task<std::uint64_t> load(sim::Addr a) { return core_.cache().load(a); }
@@ -111,6 +134,8 @@ class ThreadCtx {
   cpu::Core& core_;
   sim::Engine& engine_;
   sim::Rng rng_;
+  SpinConfig spin_;
+  SpinStats spin_stats_;
 };
 
 }  // namespace amo::core

@@ -25,6 +25,10 @@ struct FutureState {
   Engine* engine = nullptr;
   std::optional<T> value;
   std::coroutine_handle<> waiter;
+  // Set by Future::abandon(): the consumer tore down its waiter and will
+  // never look at the value. Completion still schedules its zero-cycle
+  // event (as a no-op) so event counts don't depend on who won the race.
+  bool abandoned = false;
 };
 
 }  // namespace detail
@@ -54,6 +58,16 @@ class Future {
     return std::move(*state_->value);
   }
 
+  /// Deregisters the waiter (if any) and marks the future abandoned: the
+  /// suspended consumer may be destroyed safely afterwards, and a later
+  /// completion resumes nobody. Timeout paths use this to tear down their
+  /// watcher instead of leaking it until the producer eventually fires.
+  void abandon() {
+    if (state_ == nullptr) return;
+    state_->waiter = nullptr;
+    state_->abandoned = true;
+  }
+
  private:
   std::shared_ptr<detail::FutureState<T>> state_;
 };
@@ -80,11 +94,16 @@ class Promise {
   void set_value(T v) const {
     assert(!state_->value.has_value() && "Promise completed twice");
     state_->value.emplace(std::move(v));
-    if (state_->waiter) {
-      auto h = state_->waiter;
-      state_->waiter = nullptr;
-      // Keep the state alive until the waiter actually resumes.
-      state_->engine->schedule(0, [h] { h.resume(); });
+    if (state_->waiter || state_->abandoned) {
+      // The waiter is re-read at event execution time (the shared_ptr
+      // capture keeps the state alive), so a consumer that abandons the
+      // future between completion and resumption is never resumed dead —
+      // the event fires as a no-op, keeping its queue slot either way.
+      state_->engine->schedule(0, [s = state_] {
+        const auto h = s->waiter;
+        s->waiter = nullptr;
+        if (h) h.resume();
+      });
     }
   }
 

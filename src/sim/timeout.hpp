@@ -22,17 +22,28 @@ Task<void> watch(Future<T> f, Promise<std::optional<T>> out) {
 }  // namespace detail
 
 /// Resolves to the future's value, or std::nullopt after `timeout` cycles.
-/// The underlying future must eventually complete (its watcher coroutine
-/// frame is only released on completion).
+/// Whichever side loses is torn down before this returns: on completion
+/// the timer callback is released (its queue slot fires as a tombstone
+/// no-op at the original cycle, so event counts don't change), and on
+/// timeout the watcher is deregistered from the future and its frame
+/// destroyed — the future may then complete arbitrarily late, or never.
 template <typename T>
 Task<std::optional<T>> with_timeout(Engine& engine, Future<T> f,
                                     Cycle timeout) {
   Promise<std::optional<T>> out(engine);
-  engine.schedule(timeout, [out] {
+  Engine::TimerHandle timer = engine.schedule_cancelable(timeout, [out] {
     if (!out.completed()) out.set_value(std::nullopt);
   });
-  detach(detail::watch<T>(std::move(f), out));
-  co_return co_await out.get_future();
+  // The watcher is owned, not detached, so the timeout path can free its
+  // suspended frame here instead of leaking it until the future fires.
+  Task<void> watcher = detail::watch<T>(f, out);
+  std::optional<T> r = co_await out.get_future();
+  if (r.has_value()) {
+    timer.cancel();
+  } else {
+    f.abandon();  // the watcher never resumes; destroyed on scope exit
+  }
+  co_return r;
 }
 
 }  // namespace amo::sim

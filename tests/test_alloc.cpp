@@ -24,6 +24,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sync/barrier.hpp"
+#include "sync/spin.hpp"
 
 namespace {
 
@@ -145,6 +146,42 @@ TEST(AllocCount, AmoBarrierEpisodeSteadyStateIsAllocationFree) {
   m.run();
   EXPECT_EQ(after - before, 0u)
       << "steady-state AMO barrier episodes must not touch the heap";
+}
+
+// The spin-virtualization layer's version of the same claim: a complete
+// cached-spin episode — park registration, fallback re-poll timers
+// arming, firing, and re-arming, detach/re-park, the final line-event
+// wake — stays allocation-free once the frame and timer-cell pools are
+// warm. Each episode survives ~16 fallback timeouts before release.
+TEST(AllocCount, CachedSpinEpisodeWithFallbackTimeoutsIsAllocationFree) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 2;
+  core::Machine m(cfg);
+  const sim::Addr flag = m.galloc().alloc_word_line(0);
+  constexpr int kWarmup = 8;
+  constexpr int kEpisodes = 24;
+  constexpr sim::Cycle kRecheck = 250;
+  constexpr sim::Cycle kHold = 4000;
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+  m.spawn(0, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    for (int ep = 1; ep <= kEpisodes; ++ep) {
+      const auto goal = static_cast<std::uint64_t>(ep);
+      co_await sync::spin_cached_until(
+          t, flag, [goal](std::uint64_t x) { return x >= goal; }, kRecheck);
+      if (ep == kWarmup) before = g_news.load();
+      if (ep == kEpisodes) after = g_news.load();
+    }
+  });
+  m.spawn(1, [&](core::ThreadCtx& t) -> sim::Task<void> {
+    for (int ep = 1; ep <= kEpisodes; ++ep) {
+      co_await t.compute(kHold);
+      co_await t.store(flag, static_cast<std::uint64_t>(ep));
+    }
+  });
+  m.run();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state cached-spin episodes must not touch the heap";
 }
 
 TEST(AllocCount, EngineSteadyStateScheduleIsAllocationFree) {
