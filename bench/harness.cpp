@@ -41,6 +41,8 @@ sim::Json config_json(const core::SystemConfig& cfg) {
   j["amu_cache_words"] = cfg.amu.cache_words;
   j["amu_eager_put_all"] = cfg.amu.eager_put_all;
   j["seed"] = cfg.seed;
+  // Only when decomposed: serial records stay byte-identical to pre-PDES.
+  if (cfg.sim_threads > 1) j["sim_threads"] = cfg.sim_threads;
   return j;
 }
 
@@ -101,6 +103,10 @@ BarrierResult run_barrier(const core::SystemConfig& cfg,
   TrafficSnapshot traffic_start{};
   TrafficSnapshot traffic_end{};
 
+  // Under PDES (sim_threads > 1) a mid-run Network::stats() call would
+  // read other domains' live shards; brackets keep only thread 0's local
+  // clock and the traffic window falls back to the whole run.
+  const bool parallel = cfg.sim_threads > 1;
   const int total = params.warmup_episodes + params.episodes;
   for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
     m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
@@ -111,16 +117,17 @@ BarrierResult run_barrier(const core::SystemConfig& cfg,
         co_await barrier->wait(t);
         if (c == 0 && ep == params.warmup_episodes - 1) {
           t_start = t.now();
-          traffic_start = snap(m.network());
+          if (!parallel) traffic_start = snap(m.network());
         }
         if (c == 0 && ep == total - 1) {
           t_end = t.now();
-          traffic_end = snap(m.network());
+          if (!parallel) traffic_end = snap(m.network());
         }
       }
     });
   }
   m.run();
+  if (parallel) traffic_end = snap(m.network());  // whole-run traffic
 
   BarrierResult r;
   r.cycles_per_barrier =
@@ -148,6 +155,12 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
   TrafficSnapshot traffic_start{};
   TrafficSnapshot traffic_end{};
   std::uint32_t finished = 0;
+  // PDES-safe bookkeeping: the shared `finished` counter and mid-run
+  // traffic snapshots are serial-only; K > 1 keeps a per-cpu finish
+  // cycle (each element written by exactly one domain thread) and takes
+  // the whole run's traffic.
+  const bool parallel = cfg.sim_threads > 1;
+  std::vector<sim::Cycle> finish_at(parallel ? cfg.num_cpus : 0, 0);
 
   for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
     m.spawn(c, [&, c](core::ThreadCtx& t) -> sim::Task<void> {
@@ -160,7 +173,7 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
       co_await fence->wait(t);
       if (c == 0) {
         t_start = t.now();
-        traffic_start = snap(m.network());
+        if (!parallel) traffic_start = snap(m.network());
       }
       for (int i = 0; i < params.iters; ++i) {
         co_await lock->acquire(t);
@@ -170,14 +183,20 @@ LockResult run_lock(const core::SystemConfig& cfg, const LockParams& params) {
           co_await t.compute(t.rng().below(params.max_skew));
         }
       }
-      // Last finisher closes the measured region.
-      if (++finished == cfg.num_cpus) {
+      if (parallel) {
+        finish_at[c] = t.now();
+      } else if (++finished == cfg.num_cpus) {
+        // Last finisher closes the measured region.
         t_end = t.now();
         traffic_end = snap(m.network());
       }
     });
   }
   m.run();
+  if (parallel) {
+    t_end = *std::max_element(finish_at.begin(), finish_at.end());
+    traffic_end = snap(m.network());
+  }
 
   LockResult r;
   r.total_cycles = static_cast<double>(t_end - t_start);
@@ -205,6 +224,7 @@ core::SystemConfig base_config(const CliOptions& opt) {
     core::set_field(cfg, key, std::string_view(value));
   }
   if (opt.seed != 0) cfg.seed = opt.seed;
+  if (opt.sim_threads != 0) cfg.sim_threads = opt.sim_threads;
   core::validate(cfg);
   return cfg;
 }
@@ -288,6 +308,9 @@ CliOptions parse_cli(int argc, char** argv) {
       // Cap well above any sane machine; the point is rejecting garbage.
       opt.threads =
           static_cast<unsigned>(parse_positive(a + 10, "--threads", 4096));
+    } else if (std::strncmp(a, "--sim-threads=", 14) == 0) {
+      opt.sim_threads = static_cast<unsigned>(
+          parse_positive(a + 14, "--sim-threads", 4096));
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       opt.seed = parse_positive(a + 7, "--seed",
                                 std::numeric_limits<std::uint64_t>::max());
@@ -315,8 +338,8 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --cpus=a,b,c  --episodes=N  --iters=N  --threads=N"
-          "  --seed=N  --quick  --json=PATH  --config=FILE"
-          "  --set KEY=VALUE\n");
+          "  --sim-threads=K  --seed=N  --quick  --json=PATH"
+          "  --config=FILE  --set KEY=VALUE\n");
       std::exit(0);
     } else {
       throw std::runtime_error(std::string("unknown option: ") + a);

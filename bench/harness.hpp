@@ -71,6 +71,7 @@ struct CliOptions {
   int episodes = 0;  // 0 = keep default
   int iters = 0;
   unsigned threads = 1;    // sweep worker threads (1 = serial)
+  unsigned sim_threads = 0;  // PDES domains per run (0 = config default)
   std::uint64_t seed = 0;  // 0 = keep the config default
   bool quick = false;      // trimmed sweep for CI
   std::string json_path;   // empty = no machine-readable output

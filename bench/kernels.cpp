@@ -2,6 +2,7 @@
 // These are the hand-rolled workloads of the former fig/ablation/extension
 // binaries, now driven by CellParams instead of their own main().
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -324,6 +325,67 @@ CellResult run_spin_cell(const core::SystemConfig& cfg, const CellParams& p) {
   return r;
 }
 
+// Host-parallel scaling probe: tree-barrier episodes (node-local leaf
+// groups spread barrier work across the PDES domains), timed in both
+// simulated cycles and host wall-clock. The simulated metrics (primary,
+// total_cycles, events) are deterministic per sim_threads value; wall_ms
+// and events_per_sec are host measurements and land only in the --json
+// record, never in identity-checked output.
+CellResult run_pdes_cell(const core::SystemConfig& cfg, const CellParams& p) {
+  const int episodes = p.episodes;
+  sim::Cycle t0 = 0;
+  sim::Cycle t1 = 0;
+  std::uint64_t events = 0;
+  sim::Cycle total_cycles = 0;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    core::Machine m(cfg);
+    auto barrier = sync::make_tree_barrier(m, p.mech, cfg.num_cpus, p.fanout);
+    for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+      m.spawn(c, [&, c, episodes](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int ep = 0; ep < episodes + 2; ++ep) {
+          if (p.max_skew != 0) co_await t.compute(t.rng().below(p.max_skew));
+          co_await barrier->wait(t);
+          if (c == 0 && ep == 1) t0 = t.now();
+          if (c == 0 && ep == episodes + 1) t1 = t.now();
+        }
+      });
+    }
+    m.run();
+    events = m.domains().total_events_executed();
+    total_cycles = m.domains().max_now();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+
+  const double cycles_per_ep = static_cast<double>(t1 - t0) / episodes;
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "microbench_pdes";
+    rec["cpus"] = cfg.num_cpus;
+    rec["sim_threads"] = cfg.sim_threads;
+    rec["mechanism"] = sync::to_string(p.mech);
+    rec["fanout"] = p.fanout;
+    rec["episodes"] = episodes;
+    rec["cycles_per_episode"] = cycles_per_ep;
+    rec["total_cycles"] = total_cycles;
+    rec["events"] = events;
+    rec["wall_ms"] = wall_ms;
+    rec["events_per_sec"] =
+        wall_ms > 0 ? static_cast<double>(events) * 1000.0 / wall_ms : 0.0;
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = cycles_per_ep;
+  r.secondary = wall_ms;
+  r.aux = events;
+  return r;
+}
+
 }  // namespace
 
 CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
@@ -337,6 +399,7 @@ CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
     case Kernel::kPairwiseFlags: return run_pairwise_flags_cell(cfg, params);
     case Kernel::kBarrierStyle: return run_barrier_style_cell(cfg, params);
     case Kernel::kSpin: return run_spin_cell(cfg, params);
+    case Kernel::kPdes: return run_pdes_cell(cfg, params);
   }
   return {};
 }

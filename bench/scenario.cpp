@@ -25,6 +25,7 @@ constexpr EnumEntry<Kernel> kKernelNames[] = {
     {Kernel::kPairwiseFlags, "pairwise_flags"},
     {Kernel::kBarrierStyle, "barrier_style"},
     {Kernel::kSpin, "spin"},
+    {Kernel::kPdes, "pdes"},
 };
 constexpr EnumEntry<LockAlgo> kAlgoNames[] = {
     {LockAlgo::kTas, "tas"},

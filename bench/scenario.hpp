@@ -30,6 +30,7 @@ enum class Kernel : std::uint8_t {
   kPairwiseFlags,  // producer/consumer AMO flags (sparse sharing)
   kBarrierStyle,   // naive/optimized/dissemination/mcs-tree codings
   kSpin,           // spin-virtualization cost: barrier + idle busy-waiters
+  kPdes,           // host-parallel scaling probe: tree barrier + wall clock
 };
 
 enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs };

@@ -1,5 +1,5 @@
-// The 18 built-in workloads (the 17 former bench binaries plus
-// microbench_spin) as registry entries. Each entry is a
+// The 19 built-in workloads (the 17 former bench binaries plus
+// microbench_spin and microbench_pdes) as registry entries. Each entry is a
 // builder (CLI options -> declarative SweepSpec) and a printer (cells ->
 // the exact table the old binary printed). Paper reference values live in
 // the printers' footers, where the old mains kept them.
@@ -798,6 +798,63 @@ void print_microbench_spin(const SweepSpec& s,
               "parked cpu's fallback timer; cycles agree between modes.\n");
 }
 
+// --------------------------------------------------- microbench_pdes
+// Host-parallel scaling: the same tree-barrier episode workload run at
+// sim_threads (PDES domains) K = 1, 2, 4 for each cpu count. Simulated
+// cycles are deterministic per K; wall-clock and events/s are host
+// measurements, reported for the BENCH_pdes artifact. K = 1 is the
+// serial engine; each K > 1 is its own deterministic mode, so cycles may
+// differ across columns (see DESIGN.md §10) but never across reruns.
+SweepSpec build_microbench_pdes(const CliOptions& opt) {
+  const auto cpus = resolved_cpus(opt, {64, 256}, {64});
+  const int episodes = resolved_episodes(opt, 8);
+  SweepSpec s{"microbench_pdes", "microbench_pdes", {}, {}, {}};
+  const std::array<std::uint32_t, 3> threads = {1, 2, 4};
+  sim::Json jt = sim::Json::array();
+  for (std::uint32_t k : threads) jt.push_back(k);
+  s.meta["cpus"] = cpus_json(cpus);
+  s.meta["sim_threads"] = std::move(jt);
+  for (std::uint32_t p : cpus) {
+    for (std::uint32_t k : threads) {
+      Cell c = cell(p, {});
+      c.params.kernel = Kernel::kPdes;
+      c.params.mech = Mechanism::kAmo;
+      c.params.kind = BarrierKind::kTree;
+      c.params.episodes = episodes;
+      c.set.push_back({"sim_threads", sim::Json(k)});
+      s.cells.push_back(std::move(c));
+    }
+  }
+  return s;
+}
+
+void print_microbench_pdes(const SweepSpec& s,
+                           std::span<const CellResult> r) {
+  std::printf("\n== Microbench: conservative PDES host scaling "
+              "(AMO tree barrier, sim_threads = 1/2/4) ==\n");
+  std::printf("%-8s %-6s %16s %14s %12s %10s\n", "CPUs", "K",
+              "cycles/episode", "host events", "wall ms", "speedup");
+  const auto cpus = meta_cpus(s);
+  std::size_t i = 0;
+  for (std::uint32_t p : cpus) {
+    double wall_k1 = 0;
+    for (std::uint32_t k : {1u, 2u, 4u}) {
+      if (i >= r.size()) return;
+      const CellResult& c = r[i++];
+      if (k == 1) wall_k1 = c.secondary;
+      const double speedup =
+          c.secondary > 0 ? wall_k1 / c.secondary : 0.0;
+      std::printf("%-8u %-6u %16.0f %14llu %12.1f %9.2fx\n", p, k,
+                  c.primary, static_cast<unsigned long long>(c.aux),
+                  c.secondary, speedup);
+    }
+  }
+  std::printf("\nexpected shape: cycles/episode stable within a column "
+              "across reruns (deterministic per K); wall-clock speedup "
+              "approaches the domain count on a host with that many "
+              "cores.\n");
+}
+
 }  // namespace
 
 void register_builtin_workloads(WorkloadRegistry& reg) {
@@ -855,6 +912,9 @@ void register_builtin_workloads(WorkloadRegistry& reg) {
   reg.add({"microbench_spin", "microbench_spin",
            "spin-wait virtualization: events/episode vs active cpus",
            build_microbench_spin, print_microbench_spin});
+  reg.add({"microbench_pdes", "microbench_pdes",
+           "host-parallel PDES scaling: wall-clock at sim_threads=1/2/4",
+           build_microbench_pdes, print_microbench_pdes});
 }
 
 }  // namespace amo::bench

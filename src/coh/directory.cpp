@@ -51,34 +51,19 @@ sim::InlineFn Directory::wait_pop(Entry& e) {
   return wait_pool_.pop(e.waiting);
 }
 
-std::uint32_t Directory::alloc_put_wave() {
-  std::uint32_t idx = put_wave_free_;
-  if (idx != kNil) {
-    put_wave_free_ = put_waves_[idx].next_free;
-    put_waves_[idx].next_free = kNil;
-    put_waves_[idx].targets.reset();
-    put_waves_[idx].refs = 0;
-  } else {
-    idx = static_cast<std::uint32_t>(put_waves_.size());
-    put_waves_.emplace_back();
-  }
-  return idx;
-}
-
-void Directory::deliver_put(std::uint32_t wave, sim::Addr addr,
-                            std::uint64_t value, sim::NodeId n) {
-  PutWave& w = put_waves_[wave];
+void Directory::deliver_put(const std::bitset<kMaxCpus>& targets,
+                            sim::Addr addr, std::uint64_t value,
+                            sim::NodeId n) {
+  // Runs at node n — under PDES possibly on a different domain thread
+  // than this (home) directory. It touches only n's own caches plus the
+  // immutable sharer snapshot carried in the closure, so the home
+  // directory's state is never written from a foreign domain.
   const std::uint32_t cpn = wiring_.cpus_per_node();
   const auto total = static_cast<sim::CpuId>(agents_.caches.size());
   const sim::CpuId begin = n * cpn;
   const sim::CpuId end = std::min<sim::CpuId>(begin + cpn, total);
   for (sim::CpuId c = begin; c < end; ++c) {
-    if (w.targets.test(c)) agents_.caches[c]->on_word_update(addr, value);
-  }
-  assert(w.refs > 0);
-  if (--w.refs == 0) {
-    w.next_free = put_wave_free_;
-    put_wave_free_ = wave;
+    if (targets.test(c)) agents_.caches[c]->on_word_update(addr, value);
   }
 }
 
@@ -227,20 +212,22 @@ void Directory::word_put(sim::Addr addr, std::uint64_t value) {
     const sim::Addr block = backing_.line_base(addr);
     Entry& e = entry(block);
 
-    // Snapshot the recipients into a pooled wave: every sharer, or the
-    // exclusive owner (its M/E copy is patched in place).
-    const std::uint32_t wave = alloc_put_wave();
-    PutWave& w = put_waves_[wave];
+    // Snapshot the recipients at the directory pipeline slot: every
+    // sharer, or the exclusive owner (its M/E copy is patched in place).
+    // The snapshot travels *by value* inside the delivery closure — under
+    // PDES, deliveries execute on the target node's domain thread, so the
+    // wave must not reach back into home-directory state.
+    std::bitset<kMaxCpus> targets;
     const auto total = static_cast<sim::CpuId>(agents_.caches.size());
     if (e.st == State::kExclusive) {
-      w.targets.set(e.owner);
+      targets.set(e.owner);
     } else if (e.coarse) {
       // Pointer overflow: the put wave must reach everyone. This is the
       // interesting interaction: AMO's cheap word updates depend on the
       // directory knowing its sharers (bench/ablation_dir_pointers).
-      for (sim::CpuId c = 0; c < total; ++c) w.targets.set(c);
+      for (sim::CpuId c = 0; c < total; ++c) targets.set(c);
     } else {
-      w.targets = e.sharers;
+      targets = e.sharers;
     }
 
     // Target nodes, ascending (cpu ids ascend within a node, so scanning
@@ -248,24 +235,21 @@ void Directory::word_put(sim::Addr addr, std::uint64_t value) {
     // order the old sorted-vector path produced).
     put_nodes_.clear();
     for (sim::CpuId c = 0; c < total; ++c) {
-      if (!w.targets.test(c)) continue;
+      if (!targets.test(c)) continue;
       const sim::NodeId n = wiring_.node_of(c);
       if (put_nodes_.empty() || put_nodes_.back() != n) put_nodes_.push_back(n);
     }
-    if (put_nodes_.empty()) {
-      put_waves_[wave].next_free = put_wave_free_;
-      put_wave_free_ = wave;
-      return;
-    }
-    w.refs = static_cast<std::uint32_t>(put_nodes_.size());
+    if (put_nodes_.empty()) return;
     stats_.word_updates_sent += put_nodes_.size();
 
     const std::uint32_t bytes =
         config_.put_block_granularity ? sizes_.data() : sizes_.word();
-    // 32-byte capture: the whole fan-out closure stays inline.
+    // The bitset capture overflows the inline buffer, so the fan-out
+    // closure takes the frame-pooled boxed path — one pooled allocation
+    // per wave, shared across all target nodes by post_update.
     wiring_.post_update(node_, put_nodes_, bytes,
-                        [this, wave, addr, value](sim::NodeId n) {
-                          deliver_put(wave, addr, value, n);
+                        [this, targets, addr, value](sim::NodeId n) {
+                          deliver_put(targets, addr, value, n);
                         });
   });
 }

@@ -204,16 +204,6 @@ class Directory {
     std::uint32_t next_free = kNil;
   };
 
-  /// One word-put fan-out in flight: the sharer snapshot taken at the
-  /// directory pipeline slot, delivered per node. `refs` counts target
-  /// nodes still undelivered; the wave returns to the free list at zero.
-  /// Replaces a per-put shared_ptr<unordered_map<NodeId, vector<CpuId>>>.
-  struct PutWave {
-    std::bitset<kMaxCpus> targets;
-    std::uint32_t refs = 0;
-    std::uint32_t next_free = kNil;
-  };
-
   // --- entry table (ds::AddrTable wrappers) ---
   Entry& entry(sim::Addr block);
   [[nodiscard]] const Entry* peek_entry(sim::Addr block) const {
@@ -229,10 +219,12 @@ class Directory {
   void wait_push(Entry& e, sim::InlineFn fn);
   [[nodiscard]] sim::InlineFn wait_pop(Entry& e);
 
-  // --- put-wave pool ---
-  [[nodiscard]] std::uint32_t alloc_put_wave();
-  void deliver_put(std::uint32_t wave, sim::Addr addr, std::uint64_t value,
-                   sim::NodeId n);
+  /// Delivers one word-put at node `n`: patches every targeted cache on
+  /// that node. The sharer snapshot travels by value in the fan-out
+  /// closure (PDES: this runs on `n`'s domain thread, which must not
+  /// touch home-directory state).
+  void deliver_put(const std::bitset<kMaxCpus>& targets, sim::Addr addr,
+                   std::uint64_t value, sim::NodeId n);
 
   /// Serializes message processing through the directory pipeline.
   /// `cycles` == 0 uses the default per-message occupancy.
@@ -295,8 +287,6 @@ class Directory {
   ds::AddrTable<Entry> entries_;
   ds::WaitPool<sim::InlineFn> wait_pool_;
 
-  std::vector<PutWave> put_waves_;
-  std::uint32_t put_wave_free_ = kNil;
   std::vector<sim::NodeId> put_nodes_;  // scratch target list, reused per put
 
   // Word-watch state (empty and untouched unless DirConfig::word_watch).

@@ -24,8 +24,9 @@
 
 namespace amo::coh {
 
-/// Upper bound on processors (paper max: 256; headroom for sweeps).
-inline constexpr std::uint32_t kMaxCpus = 512;
+/// Upper bound on processors (paper max: 256; headroom for the PDES
+/// 1024-CPU scaling smoke and sweeps beyond the paper's table).
+inline constexpr std::uint32_t kMaxCpus = 1024;
 
 /// Physical address layout: the top bits name the home node. The global
 /// allocator (core::GAlloc) hands out addresses as (node << shift) | offset.

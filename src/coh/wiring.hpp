@@ -6,6 +6,12 @@
 // Payloads travel as closures: the sender captures the typed call it wants
 // executed at the destination, so no central message variant is needed and
 // responses can complete sim::Promise values directly.
+//
+// PDES sharding: every schedule goes to the engine of the node doing the
+// scheduling — staging/local events on `from`'s domain, post-arrival bus
+// hops on `to`'s — and the hub-local counters are kept per domain,
+// mutated only by the owning domain thread. One domain degenerates to the
+// pre-PDES behavior exactly.
 #pragma once
 
 #include <cassert>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "sim/domains.hpp"
 #include "sim/engine.hpp"
 #include "sim/frame_pool.hpp"
 #include "sim/inline_fn.hpp"
@@ -33,16 +40,32 @@ struct LocalStats {
 
 class Wiring {
  public:
-  Wiring(sim::Engine& engine, net::Network& network,
+  Wiring(sim::Domains& domains, net::Network& network,
          std::uint32_t cpus_per_node, sim::Cycle local_cycles,
          sim::Cycle bus_cycles = 20)
-      : engine_(engine),
+      : domains_(domains),
         network_(network),
         cpus_per_node_(cpus_per_node),
         local_cycles_(local_cycles),
-        bus_cycles_(bus_cycles) {}
+        bus_cycles_(bus_cycles),
+        local_(domains.count()) {}
 
-  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  /// Serial convenience ctor (unit tests, microbenches): wires through
+  /// the network's own (single-domain) decomposition; `engine` must be
+  /// the engine that decomposition wraps.
+  Wiring(sim::Engine& engine, net::Network& network,
+         std::uint32_t cpus_per_node, sim::Cycle local_cycles,
+         sim::Cycle bus_cycles = 20)
+      : Wiring(network.domains(), network, cpus_per_node, local_cycles,
+               bus_cycles) {
+    assert(&domains_.engine(0) == &engine);
+    (void)engine;
+  }
+
+  [[nodiscard]] sim::Domains& domains() { return domains_; }
+  [[nodiscard]] sim::Engine& engine_for(sim::NodeId node) {
+    return domains_.engine_for_node(node);
+  }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] sim::NodeId node_of(sim::CpuId cpu) const {
     return cpu / cpus_per_node_;
@@ -52,12 +75,14 @@ class Wiring {
   /// Delivers `fn` at node `to`, travelling from node `from`. Chooses the
   /// network or the hub-local path automatically. `fn` may hold move-only
   /// captures; the local path moves it straight into the event queue.
+  /// Must be called from code executing on `from`'s domain.
   void post(sim::NodeId from, sim::NodeId to, net::MsgClass cls,
             std::uint32_t bytes, sim::InlineFn fn) {
     if (from == to) {
-      ++local_.messages;
-      local_.bytes += bytes;
-      engine_.schedule(local_cycles_, std::move(fn));
+      LocalStats& loc = local_[domains_.domain_of(from)];
+      ++loc.messages;
+      loc.bytes += bytes;
+      engine_for(from).schedule(local_cycles_, std::move(fn));
       return;
     }
     // Remote path pays the CPU<->hub system-bus crossing on both ends
@@ -66,12 +91,12 @@ class Wiring {
     // The wrapper closures carry an InlineFn (larger than the inline
     // buffer), so each remote hop's staging event takes the boxed path —
     // one allocation per crossing, same shape std::function had.
-    engine_.schedule(bus_cycles_, [this, from, to, cls, bytes,
-                                   fn = std::move(fn)]() mutable {
+    engine_for(from).schedule(bus_cycles_, [this, from, to, cls, bytes,
+                                            fn = std::move(fn)]() mutable {
       network_.send(net::Packet{
           from, to, cls, bytes,
-          [this, fn = std::move(fn)]() mutable {
-            engine_.schedule(bus_cycles_, std::move(fn));
+          [this, to, fn = std::move(fn)]() mutable {
+            engine_for(to).schedule(bus_cycles_, std::move(fn));
           }});
     });
   }
@@ -89,9 +114,10 @@ class Wiring {
     // Local target (if any) is delivered at hub latency.
     for (sim::NodeId n : nodes) {
       if (n == from) {
-        ++local_.messages;
-        local_.bytes += bytes;
-        engine_.schedule(local_cycles_, [shared, n] { (*shared)(n); });
+        LocalStats& loc = local_[domains_.domain_of(from)];
+        ++loc.messages;
+        loc.bytes += bytes;
+        engine_for(from).schedule(local_cycles_, [shared, n] { (*shared)(n); });
       }
     }
     // Remote targets pay the same bus crossings as post(): updates and
@@ -102,26 +128,42 @@ class Wiring {
     // steady-state put waves heap-free.
     std::vector<sim::NodeId, sim::FramePoolAllocator<sim::NodeId>> remote(
         nodes.begin(), nodes.end());
-    engine_.schedule(bus_cycles_, [this, from, bytes, shared,
-                                   remote = std::move(remote)] {
+    engine_for(from).schedule(bus_cycles_, [this, from, bytes, shared,
+                                            remote = std::move(remote)] {
       network_.multicast(from, remote, net::MsgClass::kUpdate, bytes,
                          [this, shared](sim::NodeId n) {
-                           engine_.schedule(bus_cycles_,
-                                            [shared, n] { (*shared)(n); });
+                           engine_for(n).schedule(
+                               bus_cycles_, [shared, n] { (*shared)(n); });
                          });
     });
   }
 
-  [[nodiscard]] const LocalStats& local_stats() const { return local_; }
+  /// Machine-wide hub-local totals. With one domain this is the live
+  /// shard; with K > 1 the shards are merged on each call (quiescent
+  /// reads only).
+  [[nodiscard]] const LocalStats& local_stats() const {
+    if (local_.size() == 1) return local_[0];
+    merged_ = LocalStats{};
+    for (const LocalStats& s : local_) {
+      merged_.messages += s.messages;
+      merged_.bytes += s.bytes;
+    }
+    return merged_;
+  }
+  /// Per-domain shard (stats registration).
+  [[nodiscard]] const LocalStats& local_shard(std::uint32_t d) const {
+    return local_[d];
+  }
   [[nodiscard]] sim::Cycle local_cycles() const { return local_cycles_; }
 
  private:
-  sim::Engine& engine_;
+  sim::Domains& domains_;
   net::Network& network_;
   std::uint32_t cpus_per_node_;
   sim::Cycle local_cycles_;
   sim::Cycle bus_cycles_;
-  LocalStats local_;
+  std::vector<LocalStats> local_;  // one shard per domain
+  mutable LocalStats merged_;      // local_stats() scratch for K > 1
 };
 
 }  // namespace amo::coh

@@ -1,5 +1,6 @@
 #include "core/machine.hpp"
 
+#include <cassert>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -8,8 +9,17 @@
 namespace amo::core {
 
 Machine::Machine(const SystemConfig& config)
-    : config_(config), backing_(config.line_bytes()), rng_(config.seed) {
+    : config_(config),
+      domains_(config.sim_threads, config.num_nodes()),
+      rng_(config.seed) {
   const std::uint32_t nodes = config_.num_nodes();
+  // Tracing interleaves per-domain logs nondeterministically; keep the
+  // tracer wired only for serial runs.
+  sim::Tracer* const tr = domains_.count() == 1 ? &tracer_ : nullptr;
+  backings_.reserve(domains_.count());
+  for (std::uint32_t d = 0; d < domains_.count(); ++d) {
+    backings_.emplace_back(config_.line_bytes());
+  }
   // Spin quiescence touches two subsystems: the cache controller must
   // close its lost-wakeup holes once the fallback re-poll timer is gone,
   // and the directory must accept word-watch registrations when uncached
@@ -22,8 +32,8 @@ Machine::Machine(const SystemConfig& config)
   net::NetConfig net_cfg = config_.net;
   net_cfg.num_nodes = nodes;
   // A single-node machine still needs a valid (degenerate) topology.
-  network_ = std::make_unique<net::Network>(engine_, net_cfg, &tracer_);
-  wiring_ = std::make_unique<coh::Wiring>(engine_, *network_,
+  network_ = std::make_unique<net::Network>(domains_, net_cfg, tr);
+  wiring_ = std::make_unique<coh::Wiring>(domains_, *network_,
                                           config_.cpus_per_node,
                                           config_.local_cycles,
                                           config_.bus_cycles);
@@ -38,10 +48,11 @@ Machine::Machine(const SystemConfig& config)
   drams_.reserve(nodes);
   dirs_.reserve(nodes);
   for (sim::NodeId n = 0; n < nodes; ++n) {
-    drams_.push_back(std::make_unique<mem::Dram>(engine_, config_.dram));
+    sim::Engine& ne = domains_.engine_for_node(n);
+    drams_.push_back(std::make_unique<mem::Dram>(ne, config_.dram));
     dirs_.push_back(std::make_unique<coh::Directory>(
-        engine_, *wiring_, agents_, n, backing_, *drams_[n], config_.dir,
-        &tracer_));
+        ne, *wiring_, agents_, n, backings_[domains_.domain_of(n)],
+        *drams_[n], config_.dir, tr));
     agents_.dirs[n] = dirs_[n].get();
   }
 
@@ -51,35 +62,62 @@ Machine::Machine(const SystemConfig& config)
   cores_.reserve(config_.num_cpus);
   ctxs_.reserve(config_.num_cpus);
   for (sim::CpuId c = 0; c < config_.num_cpus; ++c) {
+    sim::Engine& ce = domains_.engine_for_node(c / config_.cpus_per_node);
     cores_.push_back(std::make_unique<cpu::Core>(
-        engine_, *wiring_, agents_, devices_, c, core_cfg, &tracer_));
+        ce, *wiring_, agents_, devices_, c, core_cfg, tr));
     agents_.caches[c] = &cores_[c]->cache();
-    ctxs_.push_back(std::make_unique<ThreadCtx>(*cores_[c], engine_,
+    ctxs_.push_back(std::make_unique<ThreadCtx>(*cores_[c], ce,
                                                 rng_.split(), config_.spin));
   }
 
   amus_.reserve(nodes);
   servers_.reserve(nodes);
   for (sim::NodeId n = 0; n < nodes; ++n) {
-    amus_.push_back(std::make_unique<amu::Amu>(engine_, n, *dirs_[n],
-                                               backing_, *drams_[n],
-                                               config_.amu, &tracer_));
+    sim::Engine& ne = domains_.engine_for_node(n);
+    amus_.push_back(std::make_unique<amu::Amu>(
+        ne, n, *dirs_[n], backings_[domains_.domain_of(n)], *drams_[n],
+        config_.amu, tr));
     agents_.amus[n] = amus_[n].get();
     devices_.amus[n] = amus_[n].get();
     // Handlers run on the node's first core (the paper's home-processor
     // interference model).
     servers_.push_back(std::make_unique<cpu::AmServer>(
-        engine_, *wiring_, *cores_[n * config_.cpus_per_node],
+        ne, *wiring_, *cores_[n * config_.cpus_per_node],
         config_.am_server));
     devices_.servers[n] = servers_[n].get();
   }
 
   // Index every subsystem's counters under hierarchical names. The
   // registry only holds pointers; all pointees are owned by this Machine.
-  engine_.register_stats(registry_, "engine");
+  // Registration order is the snapshot order, so the serial (K == 1)
+  // branch must register in exactly the pre-PDES sequence.
+  if (domains_.count() == 1) {
+    domains_.engine(0).register_stats(registry_, "engine");
+  } else {
+    // Merged engine counters, same names/positions as the serial path.
+    registry_.add_fn("engine.events_executed",
+                     [this] { return domains_.total_events_executed(); });
+    registry_.add_fn("engine.now", [this] { return domains_.max_now(); });
+    registry_.add_fn("engine.queue.pushed",
+                     [this] { return domains_.total_events_scheduled(); });
+    registry_.add_fn("engine.queue.pending", [this] {
+      std::uint64_t v = 0;
+      for (std::uint32_t d = 0; d < domains_.count(); ++d) {
+        v += domains_.engine(d).pending_events();
+      }
+      return v;
+    });
+  }
   network_->register_stats(registry_, "net");
-  registry_.add_counter("local.messages", &wiring_->local_stats().messages);
-  registry_.add_counter("local.bytes", &wiring_->local_stats().bytes);
+  if (domains_.count() == 1) {
+    registry_.add_counter("local.messages", &wiring_->local_shard(0).messages);
+    registry_.add_counter("local.bytes", &wiring_->local_shard(0).bytes);
+  } else {
+    registry_.add_fn("local.messages",
+                     [this] { return wiring_->local_stats().messages; });
+    registry_.add_fn("local.bytes",
+                     [this] { return wiring_->local_stats().bytes; });
+  }
   for (sim::NodeId n = 0; n < nodes; ++n) {
     const std::string prefix = "node" + std::to_string(n);
     dirs_[n]->register_stats(registry_, prefix + ".dir");
@@ -107,27 +145,40 @@ void Machine::spawn(sim::CpuId c,
   // through the event queue for deterministic interleaving.
   bodies_.push_back(std::move(body));
   auto& stored = bodies_.back();
-  engine_.schedule(0, [this, c, &stored] {
-    sim::detach(stored(*ctxs_[c]), [this] { --pending_; });
-  });
+  domains_.engine_for_node(c / config_.cpus_per_node)
+      .schedule(0, [this, c, &stored] {
+        sim::detach(stored(*ctxs_[c]), [this] {
+          pending_.fetch_sub(1, std::memory_order_relaxed);
+        });
+      });
 }
 
 void Machine::run() {
-  engine_.run();
-  if (pending_ != 0) {
+  // Conservative lookahead: no packet injected at t can reach another
+  // node before t + min_cross_latency (>= two cheapest links plus
+  // minimum-packet serialization). Domains partition whole nodes, so
+  // this bounds all cross-domain influence.
+  const sim::Cycle lookahead = network_->min_cross_latency();
+  assert(domains_.count() == 1 || lookahead > 0);
+  domains_.run(lookahead);
+  if (pending_threads() != 0) {
     std::ostringstream oss;
-    oss << "Machine::run: event queue drained with " << pending_
+    oss << "Machine::run: event queue drained with " << pending_threads()
         << " thread(s) still blocked (deadlock)";
     throw std::runtime_error(oss.str());
   }
+}
+
+mem::Backing& Machine::backing(sim::Addr addr) {
+  return backings_[domains_.domain_of(coh::home_of(addr))];
 }
 
 MachineStats Machine::stats() const {
   MachineStats s;
   s.net = network_->stats();
   s.local = wiring_->local_stats();
-  s.events = engine_.events_executed();
-  s.cycles = engine_.now();
+  s.events = domains_.total_events_executed();
+  s.cycles = domains_.max_now();
   for (const auto& d : dirs_) {
     const coh::DirStats& ds = d->stats();
     s.dir.gets += ds.gets;
@@ -225,11 +276,11 @@ std::uint64_t Machine::peek_word(sim::Addr addr) const {
   const amu::Amu& a = *amus_[coh::home_of(addr)];
   if (a.holds_word(addr)) return a.peek_word(addr);
   // const_cast: Backing lazily materializes zero-filled lines.
-  return const_cast<mem::Backing&>(backing_).read_word(addr);
+  return const_cast<Machine*>(this)->backing(addr).read_word(addr);
 }
 
 void Machine::check_coherence() const {
-  if (!engine_.idle()) {
+  if (!domains_.all_idle()) {
     throw std::logic_error("check_coherence: engine not quiescent");
   }
   struct Copy {

@@ -16,6 +16,7 @@
 //   m.run();
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -35,6 +36,7 @@
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
 #include "net/network.hpp"
+#include "sim/domains.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats_registry.hpp"
@@ -69,11 +71,17 @@ class Machine {
     return config_.num_nodes();
   }
 
-  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  /// Domain 0's engine. With sim_threads == 1 (the default) this is THE
+  /// engine, exactly as before the PDES decomposition.
+  [[nodiscard]] sim::Engine& engine() { return domains_.engine(0); }
+  /// The domain decomposition (sim_threads engines over the home nodes).
+  [[nodiscard]] sim::Domains& domains() { return domains_; }
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] GAlloc& galloc() { return *galloc_; }
-  [[nodiscard]] mem::Backing& backing() { return backing_; }
+  /// Backing-store shard holding `addr` (shards follow the domain
+  /// decomposition so each is touched by one domain thread only).
+  [[nodiscard]] mem::Backing& backing(sim::Addr addr);
 
   [[nodiscard]] cpu::Core& core(sim::CpuId c) { return *cores_[c]; }
   [[nodiscard]] coh::Directory& dir(sim::NodeId n) { return *dirs_[n]; }
@@ -91,7 +99,9 @@ class Machine {
   void run();
 
   /// Number of threads spawned and not yet finished.
-  [[nodiscard]] std::uint32_t pending_threads() const { return pending_; }
+  [[nodiscard]] std::uint32_t pending_threads() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
   /// Machine-wide aggregated statistics.
   [[nodiscard]] MachineStats stats() const;
@@ -117,9 +127,12 @@ class Machine {
 
  private:
   SystemConfig config_;
-  sim::Engine engine_;
+  sim::Domains domains_;
   sim::Tracer tracer_;
-  mem::Backing backing_;
+  // One backing shard per domain: addresses partition by home node, so
+  // each shard's lazily-materialized line map is private to its domain
+  // thread.
+  std::vector<mem::Backing> backings_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<coh::Wiring> wiring_;
   coh::Agents agents_;
@@ -138,7 +151,8 @@ class Machine {
   // deque: spawn keeps a reference to the stored functor until the thread
   // starts, so the container must not relocate elements.
   std::deque<std::function<sim::Task<void>(ThreadCtx&)>> bodies_;
-  std::uint32_t pending_ = 0;
+  // atomic: thread-completion decrements run on domain worker threads.
+  std::atomic<std::uint32_t> pending_{0};
 };
 
 }  // namespace amo::core

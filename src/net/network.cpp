@@ -25,30 +25,115 @@ const char* to_string(MsgClass c) {
   return "?";
 }
 
+NetStats& NetStats::operator+=(const NetStats& o) {
+  packets += o.packets;
+  bytes += o.bytes;
+  hops += o.hops;
+  for (std::size_t i = 0; i < packets_by_class.size(); ++i) {
+    packets_by_class[i] += o.packets_by_class[i];
+    bytes_by_class[i] += o.bytes_by_class[i];
+  }
+  latency += o.latency;
+  return *this;
+}
+
 void Network::register_stats(sim::StatsRegistry& reg,
                              const std::string& prefix) const {
-  reg.add_counter(prefix + ".packets", &stats_.packets);
-  reg.add_counter(prefix + ".bytes", &stats_.bytes);
-  reg.add_counter(prefix + ".hops", &stats_.hops);
-  reg.add_accum(prefix + ".latency", &stats_.latency);
+  if (domains_.count() == 1) {
+    // Live pointers into the single shard: identical registration (and
+    // snapshot bytes) to the pre-PDES fabric.
+    const NetStats& s = shards_[0];
+    reg.add_counter(prefix + ".packets", &s.packets);
+    reg.add_counter(prefix + ".bytes", &s.bytes);
+    reg.add_counter(prefix + ".hops", &s.hops);
+    reg.add_accum(prefix + ".latency", &s.latency);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(MsgClass::kCount);
+         ++i) {
+      const std::string cls = to_string(static_cast<MsgClass>(i));
+      reg.add_counter(prefix + ".packets_by_class." + cls,
+                      &s.packets_by_class[i]);
+      reg.add_counter(prefix + ".bytes_by_class." + cls,
+                      &s.bytes_by_class[i]);
+    }
+    return;
+  }
+  // Multi-domain: sum the shards at snapshot time (ascending domain
+  // order, so the merge — including the latency Accum — is deterministic).
+  auto sum = [this](std::uint64_t NetStats::* m) {
+    return [this, m]() -> std::uint64_t {
+      std::uint64_t v = 0;
+      for (const NetStats& s : shards_) v += s.*m;
+      return v;
+    };
+  };
+  reg.add_fn(prefix + ".packets", sum(&NetStats::packets));
+  reg.add_fn(prefix + ".bytes", sum(&NetStats::bytes));
+  reg.add_fn(prefix + ".hops", sum(&NetStats::hops));
+  reg.add_accum_fn(prefix + ".latency", [this] {
+    sim::Accum a;
+    for (const NetStats& s : shards_) a += s.latency;
+    return a;
+  });
   for (std::size_t i = 0; i < static_cast<std::size_t>(MsgClass::kCount);
        ++i) {
     const std::string cls = to_string(static_cast<MsgClass>(i));
-    reg.add_counter(prefix + ".packets_by_class." + cls,
-                    &stats_.packets_by_class[i]);
-    reg.add_counter(prefix + ".bytes_by_class." + cls,
-                    &stats_.bytes_by_class[i]);
+    reg.add_fn(prefix + ".packets_by_class." + cls, [this, i] {
+      std::uint64_t v = 0;
+      for (const NetStats& s : shards_) v += s.packets_by_class[i];
+      return v;
+    });
+    reg.add_fn(prefix + ".bytes_by_class." + cls, [this, i] {
+      std::uint64_t v = 0;
+      for (const NetStats& s : shards_) v += s.bytes_by_class[i];
+      return v;
+    });
   }
+}
+
+Network::Network(sim::Domains& domains, const NetConfig& config,
+                 sim::Tracer* tracer)
+    : domains_(domains),
+      config_(config),
+      topo_(config.num_nodes, config.radix),
+      tracer_(tracer),
+      link_busy_until_(
+          static_cast<std::size_t>(domains.count()) * topo_.num_links(), 0),
+      charged_gen_(
+          static_cast<std::size_t>(domains.count()) * topo_.num_links(), 0),
+      multicast_gen_(domains.count(), 0),
+      shards_(domains.count()) {
+  assert(domains.num_nodes() >= config.num_nodes);
+  // Seed uniform per-level latencies from the hop_cycles knob; callers
+  // may overwrite with a non-uniform table afterwards.
+  topo_.set_link_latencies(
+      std::vector<sim::Cycle>(topo_.levels(), config.hop_cycles));
 }
 
 Network::Network(sim::Engine& engine, const NetConfig& config,
                  sim::Tracer* tracer)
-    : engine_(engine),
+    : owned_domains_(std::make_unique<sim::Domains>(engine, config.num_nodes)),
+      domains_(*owned_domains_),
       config_(config),
       topo_(config.num_nodes, config.radix),
       tracer_(tracer),
       link_busy_until_(topo_.num_links(), 0),
-      charged_gen_(topo_.num_links(), 0) {}
+      charged_gen_(topo_.num_links(), 0),
+      multicast_gen_(1, 0),
+      shards_(1) {
+  topo_.set_link_latencies(
+      std::vector<sim::Cycle>(topo_.levels(), config.hop_cycles));
+}
+
+const NetStats& Network::stats() const {
+  if (shards_.size() == 1) return shards_[0];
+  merged_.reset();
+  for (const NetStats& s : shards_) merged_ += s;
+  return merged_;
+}
+
+void Network::reset_stats() {
+  for (NetStats& s : shards_) s.reset();
+}
 
 sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
   const std::uint32_t bytes = std::max(size_bytes, config_.min_packet_bytes);
@@ -57,58 +142,64 @@ sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
          config_.link_cycles_per_16b;
 }
 
-sim::Cycle Network::reserve_path(RouteWalker& walk, std::uint32_t size_bytes,
-                                 sim::Cycle now, bool dedup_links) {
+sim::Cycle Network::reserve_path(std::uint32_t d, RouteWalker& walk,
+                                 std::uint32_t size_bytes, sim::Cycle now,
+                                 bool dedup_links) {
   const sim::Cycle ser = serialization_cycles(size_bytes);
+  const std::size_t base = static_cast<std::size_t>(d) * topo_.num_links();
   sim::Cycle t = now;
   LinkRef link;
   while (walk.next(link)) {
-    const std::uint32_t idx = topo_.link_index(link);
+    const std::size_t idx = base + topo_.link_index(link);
     bool charge = true;
     if (dedup_links) {
-      charge = charged_gen_[idx] != multicast_gen_;
-      charged_gen_[idx] = multicast_gen_;
+      charge = charged_gen_[idx] != multicast_gen_[d];
+      charged_gen_[idx] = multicast_gen_[d];
     }
     sim::Cycle depart = t;
     if (charge) {
       depart = std::max(t, link_busy_until_[idx]);
       link_busy_until_[idx] = depart + ser;
     }
-    t = depart + config_.hop_cycles;
+    t = depart + topo_.link_latency(link.level);
   }
   return t + ser;  // full packet received at destination
 }
 
-void Network::account(MsgClass cls, std::uint32_t size_bytes,
+void Network::account(std::uint32_t d, MsgClass cls, std::uint32_t size_bytes,
                       sim::Cycle latency, std::uint32_t hops) {
   const std::uint32_t bytes = std::max(size_bytes, config_.min_packet_bytes);
-  ++stats_.packets;
-  stats_.bytes += bytes;
-  stats_.hops += hops;
-  stats_.packets_by_class[static_cast<std::size_t>(cls)] += 1;
-  stats_.bytes_by_class[static_cast<std::size_t>(cls)] += bytes;
-  stats_.latency.add(latency);
+  NetStats& s = shards_[d];
+  ++s.packets;
+  s.bytes += bytes;
+  s.hops += hops;
+  s.packets_by_class[static_cast<std::size_t>(cls)] += 1;
+  s.bytes_by_class[static_cast<std::size_t>(cls)] += bytes;
+  s.latency.add(latency);
 }
 
 void Network::send(Packet p) {
   assert(p.src != p.dst && "local traffic must bypass the network");
   assert(p.on_deliver && "packet without a delivery action");
-  const sim::Cycle now = engine_.now();
+  const std::uint32_t d = domains_.domain_of(p.src);
+  const sim::Cycle now = domains_.engine(d).now();
   RouteWalker walk(topo_, p.src, p.dst);
   const sim::Cycle arrival =
-      reserve_path(walk, p.size_bytes, now, /*dedup_links=*/false);
+      reserve_path(d, walk, p.size_bytes, now, /*dedup_links=*/false);
   assert(arrival >= now && "delivery scheduled before injection");
   const sim::Cycle latency = arrival - now;
-  account(p.cls, p.size_bytes, latency, walk.hop_count());
-  if (tracer_ && tracer_->enabled(sim::TraceCat::kNet)) {
+  account(d, p.cls, p.size_bytes, latency, walk.hop_count());
+  if (tracer_ && tracer_->enabled(sim::TraceCat::kNet) &&
+      domains_.count() == 1) {
     tracer_->log(now, sim::TraceCat::kNet, "net: %u -> %u %s %uB lat=%llu",
                  p.src, p.dst, to_string(p.cls), p.size_bytes,
                  static_cast<unsigned long long>(latency));
   }
-  // The delivery closure moves straight into the event-queue slot: no
-  // wrapper lambda, no type-erasure re-boxing, zero heap for captures
-  // that fit the InlineFn buffer.
-  engine_.schedule_at(arrival, std::move(p.on_deliver));
+  // The delivery closure moves straight into the event-queue slot (or,
+  // cross-domain, into the mailbox envelope): no wrapper lambda, no
+  // type-erasure re-boxing, zero heap for captures that fit the InlineFn
+  // buffer.
+  domains_.deliver_at(p.src, p.dst, arrival, std::move(p.on_deliver));
 }
 
 void Network::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
@@ -132,16 +223,17 @@ void Network::multicast(sim::NodeId src, std::span<const sim::NodeId> dsts,
   // Hardware multicast: replicate in the routers; each tree link carries
   // the packet once per wave (generation-stamped dedup, no scratch
   // bitmap allocation).
-  ++multicast_gen_;
-  const sim::Cycle now = engine_.now();
+  const std::uint32_t d = domains_.domain_of(src);
+  ++multicast_gen_[d];
+  const sim::Cycle now = domains_.engine(d).now();
   for (sim::NodeId dst : dsts) {
     if (dst == src) continue;
     RouteWalker walk(topo_, src, dst);
     const sim::Cycle arrival =
-        reserve_path(walk, size_bytes, now, /*dedup_links=*/true);
+        reserve_path(d, walk, size_bytes, now, /*dedup_links=*/true);
     assert(arrival >= now && "delivery scheduled before injection");
-    account(cls, size_bytes, arrival - now, walk.hop_count());
-    engine_.schedule_at(arrival, [shared, dst] { (*shared)(dst); });
+    account(d, cls, size_bytes, arrival - now, walk.hop_count());
+    domains_.deliver_at(src, dst, arrival, [shared, dst] { (*shared)(dst); });
   }
 }
 

@@ -4,22 +4,36 @@
 // Latency model (cut-through flavored):
 //   for each link on the path:  depart = max(t, link_busy);
 //                               link_busy = depart + serialization;
-//                               t = depart + hop_cycles;
+//                               t = depart + link_latency(level);
 //   arrival = t + serialization   (full packet received once)
 //
 // Because link reservations are made atomically at injection time and
 // busy-until values only grow, packets between the same (src, dst) pair are
 // delivered in send order — the coherence layer relies on this FIFO
 // property.
+//
+// PDES sharding: under a K-domain decomposition (sim::Domains) every piece
+// of fabric state — link busy-until arrays, multicast dedup generations,
+// the NetStats counters — is kept per source domain, mutated only by the
+// domain thread that injects the packet. Cross-domain deliveries route
+// through Domains::deliver_at (mailboxes). With K == 1 there is exactly one
+// shard and behavior is byte-identical to the pre-PDES fabric. Per-domain
+// link reservation means two domains can each believe they reserved the
+// same physical link for the same cycles — bandwidth contention is modelled
+// exactly within a domain and approximately across domains; that (plus
+// per-shard latency merge order) is why K > 1 runs are a separately-seeded
+// mode rather than bit-equal to K == 1 (see DESIGN.md §10).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/topology.hpp"
+#include "sim/domains.hpp"
 #include "sim/engine.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/stats.hpp"
@@ -48,10 +62,20 @@ struct NetStats {
   sim::Accum latency;  // injection -> delivery, cycles
 
   void reset() { *this = NetStats{}; }
+
+  /// Folds another shard in (multi-domain end-of-run merge).
+  NetStats& operator+=(const NetStats& o);
 };
 
 class Network {
  public:
+  /// Fabric over a domain decomposition: per-domain link state and stats
+  /// shards, cross-domain delivery through the Domains mailboxes.
+  Network(sim::Domains& domains, const NetConfig& config,
+          sim::Tracer* tracer = nullptr);
+
+  /// Serial convenience ctor (unit tests, microbenches): wraps `engine`
+  /// in an internal single-domain view.
   Network(sim::Engine& engine, const NetConfig& config,
           sim::Tracer* tracer = nullptr);
 
@@ -71,43 +95,58 @@ class Network {
                  MsgClass cls, std::uint32_t size_bytes,
                  sim::InlineFnT<sim::NodeId> deliver);
 
-  [[nodiscard]] const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  /// Machine-wide fabric statistics. With one domain this is the live
+  /// shard; with K > 1 the shards are merged on each call — only read it
+  /// while the machine is quiescent (not mid-run from inside events).
+  [[nodiscard]] const NetStats& stats() const;
+  void reset_stats();
 
   /// Registers fabric counters (totals, per-class breakdowns, latency
-  /// distribution) into a stats registry under `prefix`.
+  /// distribution) into a stats registry under `prefix`. Single-domain
+  /// fabrics register the live counters directly; multi-domain fabrics
+  /// register closures that sum the shards at snapshot time.
   void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const NetConfig& config() const { return config_; }
+  [[nodiscard]] sim::Domains& domains() { return domains_; }
 
   /// Serialization delay for a packet of `size_bytes` (after clamping to
   /// the minimum packet size).
   [[nodiscard]] sim::Cycle serialization_cycles(std::uint32_t size_bytes) const;
 
+  /// Conservative PDES lookahead: the minimum time between injecting any
+  /// packet and its earliest possible arrival at a *different* node —
+  /// two cheapest-link traversals (hop_count >= 2) plus minimum-packet
+  /// serialization. Zero only for a single-node (linkless) topology.
+  [[nodiscard]] sim::Cycle min_cross_latency() const {
+    return 2 * topo_.min_hop_latency() + serialization_cycles(0);
+  }
+
  private:
-  // Drains `walk`, reserving every link on its path, and returns the
-  // delivery time. When `dedup_links` is set (hardware multicast), links
-  // already stamped with the current wave generation are traversed
-  // without being charged again.
-  sim::Cycle reserve_path(RouteWalker& walk, std::uint32_t size_bytes,
-                          sim::Cycle now, bool dedup_links);
+  // Drains `walk`, reserving every link on its path in domain `d`'s
+  // shard, and returns the delivery time. When `dedup_links` is set
+  // (hardware multicast), links already stamped with the current wave
+  // generation are traversed without being charged again.
+  sim::Cycle reserve_path(std::uint32_t d, RouteWalker& walk,
+                          std::uint32_t size_bytes, sim::Cycle now,
+                          bool dedup_links);
 
-  void account(MsgClass cls, std::uint32_t size_bytes, sim::Cycle latency,
-               std::uint32_t hops);
+  void account(std::uint32_t d, MsgClass cls, std::uint32_t size_bytes,
+               sim::Cycle latency, std::uint32_t hops);
 
-  sim::Engine& engine_;
+  std::unique_ptr<sim::Domains> owned_domains_;  // serial-ctor backing
+  sim::Domains& domains_;
   NetConfig config_;
   Topology topo_;
   sim::Tracer* tracer_;
+  // Per-domain shards, laid out [domain * num_links + link] for the link
+  // arrays. Only the owning domain thread touches its shard.
   std::vector<sim::Cycle> link_busy_until_;
-  // Multicast link-dedup scratch: `charged_gen_[link] == multicast_gen_`
-  // means this wave already reserved the link. Bumping the generation
-  // invalidates the whole array in O(1), so no per-wave bitmap allocation
-  // or clearing.
   std::vector<std::uint64_t> charged_gen_;
-  std::uint64_t multicast_gen_ = 0;
-  NetStats stats_;
+  std::vector<std::uint64_t> multicast_gen_;
+  std::vector<NetStats> shards_;
+  mutable NetStats merged_;  // stats() scratch for K > 1
 };
 
 }  // namespace amo::net

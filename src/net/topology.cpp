@@ -41,6 +41,15 @@ Topology::Topology(std::uint32_t num_nodes, std::uint32_t radix)
     base += entities_per_level_[k];
   }
   num_links_ = base;
+  // Uniform default latency; the Network overwrites this with its
+  // hop_cycles knob (and callers may supply a non-uniform table).
+  link_latency_.assign(levels(), sim::Cycle{1});
+}
+
+void Topology::set_link_latencies(const std::vector<sim::Cycle>& latencies) {
+  assert(latencies.size() == levels());
+  for ([[maybe_unused]] sim::Cycle c : latencies) assert(c > 0);
+  link_latency_ = latencies;
 }
 
 RouteWalker::RouteWalker(const Topology& topo, sim::NodeId src,

@@ -118,6 +118,30 @@ class Topology {
   /// Total number of unidirectional links.
   [[nodiscard]] std::uint32_t num_links() const { return num_links_; }
 
+  /// Sets the per-level link traversal latencies. `latencies[l]` is the
+  /// cost of crossing any link whose child endpoint sits at level `l`
+  /// (level 0 = node<->leaf-router links). Must supply exactly levels()
+  /// entries, all nonzero. Until called, every level uses the uniform
+  /// default the Network seeds from its hop_cycles knob.
+  void set_link_latencies(const std::vector<sim::Cycle>& latencies);
+
+  /// Latency of one link traversal at `level`.
+  [[nodiscard]] sim::Cycle link_latency(std::uint32_t level) const {
+    assert(level < link_latency_.size());
+    return link_latency_[level];
+  }
+
+  /// The cheapest single link traversal anywhere in the tree. Any packet
+  /// between distinct nodes crosses hop_count() >= 2 links, so this is
+  /// the building block of the conservative PDES lookahead: a message
+  /// sent at t cannot reach another node before t + 2 * min_hop_latency()
+  /// (plus serialization). Single-node systems (no links) return 0.
+  [[nodiscard]] sim::Cycle min_hop_latency() const {
+    sim::Cycle m = 0;
+    for (sim::Cycle c : link_latency_) m = (m == 0 || c < m) ? c : m;
+    return m;
+  }
+
  private:
   // Level of the lowest common ancestor *router* of a and b (>= 1).
   [[nodiscard]] std::uint32_t common_level(sim::NodeId a, sim::NodeId b) const;
@@ -128,6 +152,7 @@ class Topology {
   std::vector<std::uint32_t> entities_per_level_;  // [0]=nodes, [k]=routers
   std::vector<std::uint32_t> up_link_base_;   // flat index base per level
   std::vector<std::uint32_t> down_link_base_;
+  std::vector<sim::Cycle> link_latency_;      // per-level traversal cost
   std::uint32_t num_links_ = 0;
 };
 

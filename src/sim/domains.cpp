@@ -1,0 +1,225 @@
+#include "sim/domains.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace amo::sim {
+
+namespace {
+
+// The process-wide pool of domain worker threads.
+//
+// Why a persistent pool instead of spawning K threads per run: the
+// FramePool returns a thread's slabs to a global recycling pool when the
+// thread exits, while OTHER threads' free lists may still hold blocks
+// carved from those slabs (cross-thread frees are the norm here — a
+// cross-domain message's boxed closure is allocated by the sending domain
+// and freed by the receiving one). Recycled slabs would be re-carved
+// under those dangling free-list entries. Immortal workers make the
+// hazard unreachable: a domain thread's slabs are never returned.
+//
+// The pool itself is intentionally leaked (`new`, never deleted) so its
+// threads outlive every static destructor — including the FramePool's
+// global slab pool — and remain reachable for LeakSanitizer.
+//
+// One job runs at a time (jobs_mu_): concurrent K>1 Machines (e.g. a
+// sweep over PDES cells) serialize here. That is the intended use — K>1
+// exists to parallelize a *single* large run, while sweeps already
+// parallelize across cells with --threads.
+class DomainPool {
+ public:
+  static DomainPool& instance() {
+    static DomainPool* pool = new DomainPool;  // leaked: see above
+    return *pool;
+  }
+
+  /// Runs fn(w) for w in [0, k) on k pool threads; blocks the caller
+  /// until all k calls return. The caller never executes fn itself.
+  void run(std::uint32_t k, const std::function<void(std::uint32_t)>& fn) {
+    const std::lock_guard<std::mutex> job(jobs_mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    while (threads_.size() < k) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(threads_.size());
+      threads_.emplace_back([this, idx] { worker(idx); });
+    }
+    fn_ = &fn;
+    job_k_ = k;
+    done_ = 0;
+    ++gen_;
+    cv_.notify_all();
+    done_cv_.wait(lk, [this] { return done_ == job_k_; });
+    fn_ = nullptr;
+  }
+
+ private:
+  DomainPool() = default;
+
+  void worker(std::uint32_t idx) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return gen_ != seen; });
+      seen = gen_;
+      if (idx < job_k_) {
+        const auto* fn = fn_;
+        lk.unlock();
+        (*fn)(idx);
+        lk.lock();
+        if (++done_ == job_k_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex jobs_mu_;  // serializes whole jobs
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::uint32_t)>* fn_ = nullptr;
+  std::uint64_t gen_ = 0;
+  std::uint32_t job_k_ = 0;
+  std::uint32_t done_ = 0;
+};
+
+constexpr Cycle kNoEvent = std::numeric_limits<Cycle>::max();
+
+}  // namespace
+
+void SpinBarrier::wait() {
+  const std::uint32_t phase = phase_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    phase_.store(phase + 1, std::memory_order_release);
+  } else {
+    std::uint32_t spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins >= 512) {  // oversubscribed hosts: don't burn the core
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+Domains::Domains(std::uint32_t num_domains, std::uint32_t num_nodes)
+    : k_(num_domains), barrier_(num_domains) {
+  assert(num_domains >= 1 && num_domains <= num_nodes);
+  owned_.reserve(k_);
+  engines_.reserve(k_);
+  for (std::uint32_t d = 0; d < k_; ++d) {
+    owned_.push_back(std::make_unique<Engine>());
+    engines_.push_back(owned_.back().get());
+  }
+  // Contiguous block partition: the first (num_nodes % k_) domains take
+  // one extra node, so domain sizes differ by at most one.
+  node_domain_.resize(num_nodes);
+  const std::uint32_t base = num_nodes / k_;
+  const std::uint32_t extra = num_nodes % k_;
+  std::uint32_t node = 0;
+  for (std::uint32_t d = 0; d < k_; ++d) {
+    const std::uint32_t take = base + (d < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < take; ++i) node_domain_[node++] = d;
+  }
+  mail_.resize(static_cast<std::size_t>(k_) * k_);
+  processed_.resize(k_);
+}
+
+Domains::Domains(Engine& external, std::uint32_t num_nodes)
+    : k_(1), barrier_(1) {
+  engines_.push_back(&external);
+  node_domain_.assign(std::max(num_nodes, 1u), 0);
+  mail_.resize(1);
+  processed_.resize(1);
+}
+
+void Domains::deliver_at(std::uint32_t src_node, std::uint32_t dst_node,
+                         Cycle when, EventQueue::Callback fn) {
+  const std::uint32_t sd = domain_of(src_node);
+  const std::uint32_t dd = domain_of(dst_node);
+  if (sd == dd) {
+    engines_[dd]->schedule_at(when, std::move(fn));
+  } else {
+    mailbox(sd, dd).push_back(Envelope{when, std::move(fn)});
+  }
+}
+
+std::uint64_t Domains::run(Cycle lookahead) {
+  if (k_ == 1) return engines_[0]->run();
+  assert(lookahead > 0);
+  stop_ = false;
+  for (auto& p : processed_) p = 0;
+  barrier_.reset(k_);
+  DomainPool::instance().run(
+      k_, [this, lookahead](std::uint32_t w) { run_worker(w, lookahead); });
+  std::uint64_t total = 0;
+  for (std::uint64_t p : processed_) total += p;
+  return total;
+}
+
+void Domains::run_worker(std::uint32_t w, Cycle lookahead) {
+  for (;;) {
+    // A: every queue is settled (initial state, or all mail from the
+    // previous window has been drained). Worker 0 picks the next window.
+    barrier_.wait();
+    if (w == 0) {
+      Cycle t = kNoEvent;
+      for (std::uint32_t d = 0; d < k_; ++d) {
+        if (!engines_[d]->idle()) {
+          const Cycle nt = engines_[d]->next_time();
+          if (nt < t) t = nt;
+        }
+      }
+      stop_ = (t == kNoEvent);
+      if (!stop_) {
+        window_end_ =
+            (t > kNoEvent - lookahead) ? kNoEvent : t + lookahead;
+      }
+    }
+    // B: the window (or the stop flag) is visible to every worker.
+    barrier_.wait();
+    if (stop_) return;
+    processed_[w] += engines_[w]->run(window_end_ - 1);
+    // C: every domain has finished the window; all mailboxes are final.
+    barrier_.wait();
+    for (std::uint32_t s = 0; s < k_; ++s) {
+      std::vector<Envelope>& box = mailbox(s, w);
+      for (Envelope& env : box) {
+        // Conservative lookahead: cross-domain arrivals always land at or
+        // beyond the window boundary, never in the receiver's past.
+        assert(env.when >= window_end_);
+        engines_[w]->schedule_at(env.when, std::move(env.fn));
+      }
+      box.clear();
+    }
+  }
+}
+
+bool Domains::all_idle() const {
+  for (const Engine* e : engines_) {
+    if (!e->idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Domains::total_events_executed() const {
+  std::uint64_t total = 0;
+  for (const Engine* e : engines_) total += e->events_executed();
+  return total;
+}
+
+std::uint64_t Domains::total_events_scheduled() const {
+  std::uint64_t total = 0;
+  for (const Engine* e : engines_) total += e->events_scheduled();
+  return total;
+}
+
+Cycle Domains::max_now() const {
+  Cycle t = 0;
+  for (const Engine* e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+}  // namespace amo::sim

@@ -80,6 +80,10 @@ class Engine {
   /// True when no events are pending.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Time of the earliest pending event. Precondition: !idle(). The PDES
+  /// window scheduler reads this across engines to pick the next window.
+  [[nodiscard]] Cycle next_time() const { return queue_.next_time(); }
+
   /// Total events ever scheduled (throughput metric). Includes events
   /// synthesized by quiesce-mode accounting (see account_synthetic_events).
   [[nodiscard]] std::uint64_t events_scheduled() const {

@@ -35,6 +35,24 @@ void StatsRegistry::add_accum(const std::string& name, const Accum* accum) {
   });
 }
 
+namespace {
+Json accum_json(const Accum& a) {
+  Json j = Json::object();
+  j["count"] = a.count();
+  j["sum"] = a.sum();
+  j["min"] = a.min();
+  j["max"] = a.max();
+  j["mean"] = a.mean();
+  j["stddev"] = a.stddev();
+  return j;
+}
+}  // namespace
+
+void StatsRegistry::add_accum_fn(const std::string& name,
+                                 std::function<Accum()> fn) {
+  add(name, [fn = std::move(fn)] { return accum_json(fn()); });
+}
+
 Json StatsRegistry::value(const std::string& name) const {
   for (const Entry& e : entries_) {
     if (e.name == name) return e.read();

@@ -35,6 +35,11 @@ class StatsRegistry {
   /// count/sum/min/max/mean/stddev fields.
   void add_accum(const std::string& name, const Accum* accum);
 
+  /// Registers a distribution computed at snapshot time (same JSON shape
+  /// as add_accum). Multi-domain runs use this to merge per-domain
+  /// accumulator shards into one machine-wide distribution.
+  void add_accum_fn(const std::string& name, std::function<Accum()> fn);
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Reads a single entry by its full dotted name.

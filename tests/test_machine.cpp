@@ -97,7 +97,7 @@ TEST(Machine, PeekWordFindsOwnerCopy) {
     co_await t.store(a, 55);  // stays dirty in cpu0's cache
   });
   m.run();
-  EXPECT_EQ(m.backing().read_word(a), 0u);  // memory is stale
+  EXPECT_EQ(m.backing(a).read_word(a), 0u);  // memory is stale
   EXPECT_EQ(m.peek_word(a), 55u);           // peek follows the owner
 }
 

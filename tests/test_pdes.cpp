@@ -1,0 +1,347 @@
+// Conservative-PDES tests: topology lookahead building blocks, config
+// validation for sim_threads, mailbox delivery semantics against a
+// single-queue oracle, and whole-machine determinism at K > 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/machine.hpp"
+#include "net/topology.hpp"
+#include "sim/domains.hpp"
+#include "sim/engine.hpp"
+#include "sync/barrier.hpp"
+
+namespace amo {
+namespace {
+
+// ------------------------------------------------------------ topology
+
+TEST(Topology, DefaultLinkLatencyIsUniformOne) {
+  net::Topology topo(16, 4);
+  ASSERT_EQ(topo.levels(), 2u);
+  EXPECT_EQ(topo.link_latency(0), 1u);
+  EXPECT_EQ(topo.link_latency(1), 1u);
+  EXPECT_EQ(topo.min_hop_latency(), 1u);
+}
+
+TEST(Topology, MinHopLatencyIsCheapestLevel) {
+  net::Topology topo(16, 4);
+  topo.set_link_latencies({7, 3});
+  EXPECT_EQ(topo.link_latency(0), 7u);
+  EXPECT_EQ(topo.link_latency(1), 3u);
+  EXPECT_EQ(topo.min_hop_latency(), 3u);
+}
+
+TEST(Topology, SingleNodeHasNoLinks) {
+  net::Topology topo(1, 4);
+  EXPECT_EQ(topo.levels(), 0u);
+  EXPECT_EQ(topo.min_hop_latency(), 0u);
+}
+
+// Any packet between distinct nodes crosses at least two links — the
+// invariant the PDES lookahead (2 * min_hop_latency + serialization)
+// relies on.
+TEST(Topology, CrossNodeHopCountIsAtLeastTwo) {
+  net::Topology topo(16, 4);
+  for (sim::NodeId a = 0; a < 16; ++a) {
+    for (sim::NodeId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(topo.hop_count(a, b), 2u);
+      EXPECT_EQ(topo.route(a, b).size(), topo.hop_count(a, b));
+    }
+  }
+}
+
+// ---------------------------------------------------- config validation
+
+TEST(PdesConfig, RejectsZeroSimThreads) {
+  core::SystemConfig cfg;
+  cfg.sim_threads = 0;
+  try {
+    core::validate(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const core::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("sim_threads"), std::string::npos);
+  }
+}
+
+TEST(PdesConfig, RejectsMoreDomainsThanNodes) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.cpus_per_node = 4;  // 4 nodes
+  cfg.sim_threads = 5;
+  try {
+    core::validate(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const core::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("sim_threads"), std::string::npos);
+  }
+}
+
+TEST(PdesConfig, RejectsZeroHopLatencyWhenParallel) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.cpus_per_node = 4;
+  cfg.sim_threads = 2;
+  cfg.net.hop_cycles = 0;
+  try {
+    core::validate(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const core::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("hop_cycles"), std::string::npos);
+  }
+}
+
+TEST(PdesConfig, SimThreadsRoundTripsThroughJson) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.cpus_per_node = 4;
+  cfg.sim_threads = 4;
+  const core::SystemConfig back = core::config_from_json(core::to_json(cfg));
+  EXPECT_EQ(back.sim_threads, 4u);
+  core::SystemConfig set;
+  set.num_cpus = 16;
+  set.cpus_per_node = 4;
+  core::set_field(set, "sim_threads", sim::Json(std::uint64_t{2}));
+  EXPECT_EQ(set.sim_threads, 2u);
+}
+
+// --------------------------------------------------- mailbox vs oracle
+
+struct Delivery {
+  sim::Cycle when;
+  std::uint64_t id;
+  bool operator==(const Delivery&) const = default;
+};
+
+// One generator chain: a self-rescheduling event on its home engine that
+// fires `remaining` sends to pseudo-random destinations. The chain's LCG
+// and cadence depend only on its own state, so the set of (when, dst, id)
+// it produces is identical no matter how domains interleave.
+struct Chain {
+  std::uint32_t src_node = 0;
+  std::uint64_t rng = 0;
+  int remaining = 0;
+  std::uint64_t next_id = 0;
+  sim::Cycle lookahead = 0;
+  std::uint32_t num_nodes = 0;
+
+  std::uint64_t next_rand() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  }
+};
+
+constexpr std::uint32_t kNodes = 8;
+constexpr std::uint32_t kDomains = 4;
+constexpr int kChainsPerNode = 2;
+constexpr int kSendsPerChain = 100000 / (kNodes * kChainsPerNode);
+constexpr sim::Cycle kLookahead = 10;
+
+// Runs every chain on `domains`, logging each delivery into the
+// destination domain's slot of `logs` (only that domain's thread ever
+// touches it). `oracle_domain_of` maps nodes to log slots when the run
+// is actually serial.
+void run_chains(sim::Domains& domains, std::vector<Chain>& chains,
+                std::vector<std::vector<Delivery>>& logs) {
+  struct Ctx {
+    sim::Domains* doms;
+    std::vector<Chain>* chains;
+    std::vector<std::vector<Delivery>>* logs;
+  };
+  static Ctx ctx;  // single-threaded setup; read-only during the run
+  ctx = {&domains, &chains, &logs};
+
+  struct Step {
+    static void fire(std::size_t i) {
+      Chain& ch = (*ctx.chains)[i];
+      sim::Engine& e = ctx.doms->engine_for_node(ch.src_node);
+      if (ch.remaining-- <= 0) return;
+      const std::uint32_t dst =
+          static_cast<std::uint32_t>(ch.next_rand() % ch.num_nodes);
+      const sim::Cycle when =
+          e.now() + ch.lookahead + (ch.next_rand() % 64);
+      const std::uint64_t id = ch.next_id++;
+      const std::uint32_t dd = ctx.doms->domain_of(dst);
+      ctx.doms->deliver_at(ch.src_node, dst, when, [when, id, dd] {
+        (*ctx.logs)[dd].push_back(Delivery{when, id});
+      });
+      e.schedule_at(e.now() + 1 + (ch.next_rand() % 8),
+                    [i] { Step::fire(i); });
+    }
+  };
+
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    sim::Engine& e = domains.engine_for_node(chains[i].src_node);
+    e.schedule_at(chains[i].src_node + 1, [i] { Step::fire(i); });
+  }
+  domains.run(kLookahead);
+  ASSERT_TRUE(domains.all_idle());
+}
+
+std::vector<Chain> make_chains() {
+  std::vector<Chain> chains;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    for (int c = 0; c < kChainsPerNode; ++c) {
+      Chain ch;
+      ch.src_node = n;
+      ch.rng = 0x9e3779b97f4a7c15ULL ^ (n * 131 + c);
+      ch.remaining = kSendsPerChain;
+      ch.next_id = (static_cast<std::uint64_t>(n) * kChainsPerNode + c)
+                   << 32;
+      ch.lookahead = kLookahead;
+      ch.num_nodes = kNodes;
+      chains.push_back(ch);
+    }
+  }
+  return chains;
+}
+
+// 100k deliveries through the (src, dst) mailboxes must (a) never arrive
+// in a receiving domain's past, (b) lose or duplicate nothing relative
+// to a single-queue serial oracle, and (c) replay identically.
+TEST(PdesMailbox, MatchesSingleQueueOracle) {
+  // Oracle: one engine, every node in domain 0, but log under the SAME
+  // domain slots the parallel run uses so the per-slot multisets compare.
+  sim::Domains key(kDomains, kNodes);  // only used for domain_of mapping
+  std::vector<std::vector<Delivery>> oracle(kDomains);
+  {
+    sim::Engine serial;
+    sim::Domains one(serial, kNodes);
+    auto chains = make_chains();
+    // Re-point the oracle's log slot per delivery via the parallel
+    // mapping: replicate run_chains but with domain_of from `key`.
+    struct Ctx {
+      sim::Domains* doms;
+      sim::Domains* key;
+      std::vector<Chain>* chains;
+      std::vector<std::vector<Delivery>>* logs;
+    };
+    static Ctx ctx;
+    ctx = {&one, &key, &chains, &oracle};
+    struct Step {
+      static void fire(std::size_t i) {
+        Chain& ch = (*ctx.chains)[i];
+        sim::Engine& e = ctx.doms->engine_for_node(ch.src_node);
+        if (ch.remaining-- <= 0) return;
+        const std::uint32_t dst =
+            static_cast<std::uint32_t>(ch.next_rand() % ch.num_nodes);
+        const sim::Cycle when =
+            e.now() + ch.lookahead + (ch.next_rand() % 64);
+        const std::uint64_t id = ch.next_id++;
+        const std::uint32_t dd = ctx.key->domain_of(dst);
+        ctx.doms->deliver_at(ch.src_node, dst, when, [when, id, dd] {
+          (*ctx.logs)[dd].push_back(Delivery{when, id});
+        });
+        e.schedule_at(e.now() + 1 + (ch.next_rand() % 8),
+                      [i] { Step::fire(i); });
+      }
+    };
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      one.engine_for_node(chains[i].src_node)
+          .schedule_at(chains[i].src_node + 1, [i] { Step::fire(i); });
+    }
+    one.run(kLookahead);
+    ASSERT_TRUE(one.all_idle());
+  }
+
+  std::vector<std::vector<Delivery>> run1(kDomains);
+  {
+    sim::Domains domains(kDomains, kNodes);
+    auto chains = make_chains();
+    run_chains(domains, chains, run1);
+  }
+  std::vector<std::vector<Delivery>> run2(kDomains);
+  {
+    sim::Domains domains(kDomains, kNodes);
+    auto chains = make_chains();
+    run_chains(domains, chains, run2);
+  }
+
+  std::size_t total = 0;
+  for (std::uint32_t d = 0; d < kDomains; ++d) {
+    // (c) deterministic replay: exact order, not just multiset.
+    EXPECT_EQ(run1[d], run2[d]) << "domain " << d;
+    // (a) time-ordered execution within the receiving engine.
+    EXPECT_TRUE(std::is_sorted(
+        run1[d].begin(), run1[d].end(),
+        [](const Delivery& x, const Delivery& y) { return x.when < y.when; }))
+        << "domain " << d;
+    // (b) nothing lost or duplicated vs the serial oracle.
+    auto a = run1[d];
+    auto b = oracle[d];
+    auto lt = [](const Delivery& x, const Delivery& y) {
+      return std::pair(x.when, x.id) < std::pair(y.when, y.id);
+    };
+    std::sort(a.begin(), a.end(), lt);
+    std::sort(b.begin(), b.end(), lt);
+    EXPECT_EQ(a, b) << "domain " << d;
+    total += run1[d].size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kNodes) * kChainsPerNode *
+                       kSendsPerChain);
+}
+
+// ------------------------------------------------ machine determinism
+
+sim::Json run_barrier_machine(std::uint32_t sim_threads) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.cpus_per_node = 4;
+  cfg.sim_threads = sim_threads;
+  core::validate(cfg);
+  core::Machine m(cfg);
+  auto barrier = sync::make_tree_barrier(m, sync::Mechanism::kAmo,
+                                         cfg.num_cpus, 4);
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < 6; ++ep) {
+        co_await t.compute(t.rng().below(100));
+        co_await barrier->wait(t);
+      }
+    });
+  }
+  m.run();
+  return m.stats_json();
+}
+
+TEST(PdesMachine, DoubleRunIdenticalAtK2) {
+  EXPECT_EQ(run_barrier_machine(2).dump(), run_barrier_machine(2).dump());
+}
+
+TEST(PdesMachine, DoubleRunIdenticalAtK4) {
+  EXPECT_EQ(run_barrier_machine(4).dump(), run_barrier_machine(4).dump());
+}
+
+TEST(PdesMachine, SerialModeIsDeterministic) {
+  EXPECT_EQ(run_barrier_machine(1).dump(), run_barrier_machine(1).dump());
+}
+
+// K > 1 still satisfies the machine's own invariants: the run drains
+// every queue and the coherence checker sees a consistent end state.
+TEST(PdesMachine, ParallelRunDrainsAndStaysCoherent) {
+  core::SystemConfig cfg;
+  cfg.num_cpus = 16;
+  cfg.cpus_per_node = 4;
+  cfg.sim_threads = 4;
+  core::validate(cfg);
+  core::Machine m(cfg);
+  auto barrier = sync::make_tree_barrier(m, sync::Mechanism::kAmo,
+                                         cfg.num_cpus, 4);
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    m.spawn(c, [&](core::ThreadCtx& t) -> sim::Task<void> {
+      for (int ep = 0; ep < 4; ++ep) co_await barrier->wait(t);
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.pending_threads(), 0u);
+  m.check_coherence();
+}
+
+}  // namespace
+}  // namespace amo
