@@ -227,6 +227,14 @@ CellResult run_lock_algo_cell(const core::SystemConfig& cfg,
       lock = sync::make_array_lock(m, p.mech, cfg.num_cpus);
       break;
     case LockAlgo::kMcs: lock = sync::make_mcs_lock(m, p.mech); break;
+    case LockAlgo::kCna:
+      lock = sync::make_cna_lock(m, p.mech, cfg.hier.levels,
+                                 cfg.hier.cna_threshold);
+      break;
+    case LockAlgo::kHmcs:
+      lock = sync::make_hmcs_lock(m, p.mech, cfg.hier.levels,
+                                  cfg.hier.hmcs_threshold);
+      break;
   }
   for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
     m.spawn(c, [&, iters](core::ThreadCtx& t) -> sim::Task<void> {
@@ -386,6 +394,93 @@ CellResult run_pdes_cell(const core::SystemConfig& cfg, const CellParams& p) {
   return r;
 }
 
+// Hierarchy-aware barrier probe: the flat fixed-fanout tree barrier vs
+// the cluster-hierarchical barrier (software fan-in or AMU aggregation),
+// measuring cycles per episode AND the packets crossing the fat tree's
+// ROOT links — the contended resource the hierarchy exists to relieve.
+// Root-link counts are read once after the run (mid-run snapshots would
+// race under sim_threads > 1), so the per-episode figure averages the
+// warmup episodes in; both variants pay the same warmup, so the gate's
+// ratio is unaffected. Wall-clock lands only in the --json record.
+CellResult run_hier_cell(const core::SystemConfig& cfg, const CellParams& p) {
+  const int episodes = p.episodes;
+  sim::Cycle t0 = 0;
+  sim::Cycle t1 = 0;
+  std::uint64_t root_links = 0;
+  std::uint64_t events = 0;
+  TrafficSnapshot traffic;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    core::Machine m(cfg);
+    std::unique_ptr<sync::Barrier> barrier;
+    switch (p.hier) {
+      case HierBarrier::kFlatTree:
+        barrier = sync::make_tree_barrier(m, p.mech, cfg.num_cpus, p.fanout);
+        break;
+      case HierBarrier::kCluster:
+        // Software fan-in unless the config opts into AMU combining;
+        // the cluster_amu variant forces it regardless of the knob.
+        barrier = sync::make_cluster_barrier(m, p.mech, cfg.num_cpus,
+                                             cfg.hier.levels,
+                                             cfg.hier.amu_aggregation);
+        break;
+      case HierBarrier::kClusterAmu:
+        barrier = sync::make_cluster_barrier(m, p.mech, cfg.num_cpus,
+                                             cfg.hier.levels,
+                                             /*amu_aggregation=*/true);
+        break;
+    }
+    for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+      m.spawn(c, [&, c, episodes](core::ThreadCtx& t) -> sim::Task<void> {
+        for (int ep = 0; ep < episodes + 2; ++ep) {
+          if (p.max_skew != 0) co_await t.compute(t.rng().below(p.max_skew));
+          co_await barrier->wait(t);
+          if (c == 0 && ep == 1) t0 = t.now();
+          if (c == 0 && ep == episodes + 1) t1 = t.now();
+        }
+      });
+    }
+    m.run();
+    root_links = m.network().root_link_traversals();
+    events = m.domains().total_events_executed();
+    traffic.packets = m.network().stats().packets;
+    traffic.bytes = m.network().stats().bytes;
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+
+  const double cycles_per_ep = static_cast<double>(t1 - t0) / episodes;
+  const double root_per_ep =
+      static_cast<double>(root_links) / (episodes + 2);
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "microbench_hier";
+    rec["cpus"] = cfg.num_cpus;
+    rec["sim_threads"] = cfg.sim_threads;
+    rec["mechanism"] = sync::to_string(p.mech);
+    rec["barrier"] = to_string(p.hier);
+    rec["levels"] = cfg.hier.levels;
+    rec["radix"] = cfg.net.radix;
+    rec["episodes"] = episodes;
+    rec["cycles_per_episode"] = cycles_per_ep;
+    rec["root_link_messages"] = root_links;
+    rec["root_link_messages_per_episode"] = root_per_ep;
+    rec["events"] = events;
+    rec["wall_ms"] = wall_ms;
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = cycles_per_ep;
+  r.secondary = root_per_ep;
+  r.traffic = traffic;
+  r.aux = root_links;
+  return r;
+}
+
 }  // namespace
 
 CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
@@ -400,6 +495,7 @@ CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
     case Kernel::kBarrierStyle: return run_barrier_style_cell(cfg, params);
     case Kernel::kSpin: return run_spin_cell(cfg, params);
     case Kernel::kPdes: return run_pdes_cell(cfg, params);
+    case Kernel::kHier: return run_hier_cell(cfg, params);
   }
   return {};
 }

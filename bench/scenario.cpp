@@ -26,12 +26,20 @@ constexpr EnumEntry<Kernel> kKernelNames[] = {
     {Kernel::kBarrierStyle, "barrier_style"},
     {Kernel::kSpin, "spin"},
     {Kernel::kPdes, "pdes"},
+    {Kernel::kHier, "hier"},
 };
 constexpr EnumEntry<LockAlgo> kAlgoNames[] = {
     {LockAlgo::kTas, "tas"},
     {LockAlgo::kTicket, "ticket"},
     {LockAlgo::kArray, "array"},
     {LockAlgo::kMcs, "mcs"},
+    {LockAlgo::kCna, "cna"},
+    {LockAlgo::kHmcs, "hmcs"},
+};
+constexpr EnumEntry<HierBarrier> kHierNames[] = {
+    {HierBarrier::kFlatTree, "flat_tree"},
+    {HierBarrier::kCluster, "cluster"},
+    {HierBarrier::kClusterAmu, "cluster_amu"},
 };
 constexpr EnumEntry<BarrierStyle> kStyleNames[] = {
     {BarrierStyle::kNaive, "naive"},
@@ -125,6 +133,7 @@ sim::Json params_to_json(const CellParams& p) {
   if (p.rounds != d.rounds) j["rounds"] = p.rounds;
   if (p.style != d.style) j["style"] = enum_name(kStyleNames, p.style);
   if (p.active != d.active) j["active"] = p.active;
+  if (p.hier != d.hier) j["hier"] = enum_name(kHierNames, p.hier);
   return j;
 }
 
@@ -177,12 +186,14 @@ CellParams params_from_json(const sim::Json& j) {
       p.style = enum_value(kStyleNames, f, v);
     } else if (key == "active") {
       p.active = static_cast<std::uint32_t>(uint_value(f, v));
+    } else if (key == "hier") {
+      p.hier = enum_value(kHierNames, f, v);
     } else {
       throw std::runtime_error(
           f + ": unknown parameter; candidates: kernel, mech, kind, fanout, "
               "warmup_episodes, episodes, max_skew, array, warmup_iters, "
               "iters, cs_cycles, algo, backoff, locks, rounds, style, "
-              "active");
+              "active, hier");
     }
   }
   return p;
@@ -193,6 +204,7 @@ CellParams params_from_json(const sim::Json& j) {
 const char* to_string(Kernel k) { return enum_name(kKernelNames, k); }
 const char* to_string(LockAlgo a) { return enum_name(kAlgoNames, a); }
 const char* to_string(BarrierStyle s) { return enum_name(kStyleNames, s); }
+const char* to_string(HierBarrier h) { return enum_name(kHierNames, h); }
 
 sim::Json spec_to_json(const SweepSpec& spec) {
   sim::Json j = sim::Json::object();

@@ -31,9 +31,17 @@ enum class Kernel : std::uint8_t {
   kBarrierStyle,   // naive/optimized/dissemination/mcs-tree codings
   kSpin,           // spin-virtualization cost: barrier + idle busy-waiters
   kPdes,           // host-parallel scaling probe: tree barrier + wall clock
+  kHier,           // hierarchy-aware barriers: root-link traffic + cycles
 };
 
-enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs };
+enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs, kCna,
+                                     kHmcs };
+
+/// Which barrier the kHier kernel runs. The flat fixed-fanout tree is the
+/// baseline the cluster variants are gated against; levels, thresholds,
+/// and AMU aggregation for the cluster variants come from the `hier.*`
+/// config knobs (set them per cell).
+enum class HierBarrier : std::uint8_t { kFlatTree, kCluster, kClusterAmu };
 enum class BarrierStyle : std::uint8_t {
   kNaive, kOptimized, kDissemination, kMcsTree,
 };
@@ -41,6 +49,7 @@ enum class BarrierStyle : std::uint8_t {
 [[nodiscard]] const char* to_string(Kernel k);
 [[nodiscard]] const char* to_string(LockAlgo a);
 [[nodiscard]] const char* to_string(BarrierStyle s);
+[[nodiscard]] const char* to_string(HierBarrier h);
 
 /// Union of every kernel's parameters; each kernel reads its slice and
 /// ignores the rest. Defaults mirror BarrierParams/LockParams so a cell
@@ -70,6 +79,8 @@ struct CellParams {
   BarrierStyle style = BarrierStyle::kOptimized;
   // kSpin: cpus in the barrier set; the rest busy-wait. 0 = all.
   std::uint32_t active = 0;
+  // kHier: barrier variant (flat tree baseline vs cluster-hierarchical)
+  HierBarrier hier = HierBarrier::kFlatTree;
 };
 
 /// What every kernel reports. Which fields are meaningful depends on the

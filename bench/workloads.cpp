@@ -1,5 +1,6 @@
-// The 19 built-in workloads (the 17 former bench binaries plus
-// microbench_spin and microbench_pdes) as registry entries. Each entry is a
+// The 22 built-in workloads (the 17 former bench binaries plus
+// microbench_spin, microbench_pdes, microbench_hier, and the two
+// hierarchy ablations) as registry entries. Each entry is a
 // builder (CLI options -> declarative SweepSpec) and a printer (cells ->
 // the exact table the old binary printed). Paper reference values live in
 // the printers' footers, where the old mains kept them.
@@ -809,7 +810,10 @@ SweepSpec build_microbench_pdes(const CliOptions& opt) {
   const auto cpus = resolved_cpus(opt, {64, 256}, {64});
   const int episodes = resolved_episodes(opt, 8);
   SweepSpec s{"microbench_pdes", "microbench_pdes", {}, {}, {}};
-  const std::array<std::uint32_t, 3> threads = {1, 2, 4};
+  // --sim-threads pins the sweep to that single domain count (the CI
+  // 4096-CPU smoke runs one K per invocation to stay inside its budget).
+  std::vector<std::uint32_t> threads = {1, 2, 4};
+  if (opt.sim_threads != 0) threads = {opt.sim_threads};
   sim::Json jt = sim::Json::array();
   for (std::uint32_t k : threads) jt.push_back(k);
   s.meta["cpus"] = cpus_json(cpus);
@@ -831,19 +835,29 @@ SweepSpec build_microbench_pdes(const CliOptions& opt) {
 void print_microbench_pdes(const SweepSpec& s,
                            std::span<const CellResult> r) {
   std::printf("\n== Microbench: conservative PDES host scaling "
-              "(AMO tree barrier, sim_threads = 1/2/4) ==\n");
+              "(AMO tree barrier) ==\n");
   std::printf("%-8s %-6s %16s %14s %12s %10s\n", "CPUs", "K",
               "cycles/episode", "host events", "wall ms", "speedup");
   const auto cpus = meta_cpus(s);
+  // The sim_threads axis comes from the spec, not a hardcoded list, so a
+  // --sim-threads-pinned run prints exactly the cells it ran.
+  std::vector<std::uint32_t> threads;
+  if (const sim::Json* jt = s.meta.find("sim_threads"); jt != nullptr) {
+    for (const sim::Json& v : jt->elements()) {
+      threads.push_back(static_cast<std::uint32_t>(v.as_uint()));
+    }
+  } else {
+    threads = {1, 2, 4};
+  }
   std::size_t i = 0;
   for (std::uint32_t p : cpus) {
-    double wall_k1 = 0;
-    for (std::uint32_t k : {1u, 2u, 4u}) {
+    double wall_first = 0;
+    for (std::uint32_t k : threads) {
       if (i >= r.size()) return;
       const CellResult& c = r[i++];
-      if (k == 1) wall_k1 = c.secondary;
+      if (k == threads.front()) wall_first = c.secondary;
       const double speedup =
-          c.secondary > 0 ? wall_k1 / c.secondary : 0.0;
+          c.secondary > 0 ? wall_first / c.secondary : 0.0;
       std::printf("%-8u %-6u %16.0f %14llu %12.1f %9.2fx\n", p, k,
                   c.primary, static_cast<unsigned long long>(c.aux),
                   c.secondary, speedup);
@@ -853,6 +867,219 @@ void print_microbench_pdes(const SweepSpec& s,
               "across reruns (deterministic per K); wall-clock speedup "
               "approaches the domain count on a host with that many "
               "cores.\n");
+}
+
+// --------------------------------------------------- microbench_hier
+// Hierarchy-aware barriers: for each cpu count, the flat fixed-fanout
+// AMO tree barrier (the PR-gate baseline) vs the cluster-hierarchical
+// barrier with software fan-in and with AMU aggregation. The headline
+// number is packets crossing the fat tree's ROOT links per episode —
+// aggregation turns O(P) root-bound arrivals into O(clusters) combined
+// fetch-adds. The largest cpu count also runs the aggregated variant at
+// sim_threads = 2 and 4 for the BENCH_hier scaling curve (skipped when
+// --sim-threads already pins the whole sweep to one K).
+const std::array<HierBarrier, 3> kHierVariants = {
+    HierBarrier::kFlatTree, HierBarrier::kCluster, HierBarrier::kClusterAmu};
+
+CellParams hier_params(HierBarrier variant, int episodes) {
+  CellParams p;
+  p.kernel = Kernel::kHier;
+  p.mech = Mechanism::kAmo;
+  p.hier = variant;
+  p.episodes = episodes;
+  return p;
+}
+
+Cell hier_cell(std::uint32_t cpus, std::uint32_t levels, CellParams params) {
+  Cell c = cell(cpus, params);
+  if (params.hier != HierBarrier::kFlatTree) {
+    c.set.push_back({"hier.levels", sim::Json(levels)});
+  }
+  return c;
+}
+
+SweepSpec build_microbench_hier(const CliOptions& opt) {
+  const auto cpus = resolved_cpus(opt, {64, 256, 1024}, {64, 256});
+  const int episodes = resolved_episodes(opt, 8);
+  // Two physical tree levels of clustering: valid for every default cpu
+  // count (64 cpus = 32 nodes is already height 2 at radix 8).
+  const std::uint32_t levels = 2;
+  SweepSpec s{"microbench_hier", "microbench_hier", {}, {}, {}};
+  s.meta["cpus"] = cpus_json(cpus);
+  s.meta["levels"] = levels;
+  std::vector<std::uint32_t> scale_ks;
+  if (opt.sim_threads == 0) scale_ks = {2, 4};
+  sim::Json jk = sim::Json::array();
+  for (std::uint32_t k : scale_ks) jk.push_back(k);
+  s.meta["scale_ks"] = std::move(jk);
+  for (std::uint32_t p : cpus) {
+    for (HierBarrier v : kHierVariants) {
+      s.cells.push_back(hier_cell(p, levels, hier_params(v, episodes)));
+    }
+  }
+  for (std::uint32_t k : scale_ks) {
+    Cell c = hier_cell(cpus.back(), levels,
+                       hier_params(HierBarrier::kClusterAmu, episodes));
+    c.set.push_back({"sim_threads", sim::Json(k)});
+    s.cells.push_back(std::move(c));
+  }
+  return s;
+}
+
+void print_microbench_hier(const SweepSpec& s,
+                           std::span<const CellResult> r) {
+  const auto cpus = meta_cpus(s);
+  std::printf("\n== Microbench: hierarchy-aware AMO barriers "
+              "(cluster fan-in vs flat fanout-4 tree) ==\n");
+  std::printf("%-8s %-12s %16s %14s %14s\n", "CPUs", "barrier",
+              "cycles/episode", "rootmsg/ep", "root cut");
+  std::size_t i = 0;
+  for (std::uint32_t p : cpus) {
+    double flat_root = 0;
+    for (HierBarrier v : kHierVariants) {
+      if (i >= r.size()) return;
+      const CellResult& c = r[i++];
+      if (v == HierBarrier::kFlatTree) flat_root = c.secondary;
+      const double cut = c.secondary > 0 ? flat_root / c.secondary : 0.0;
+      std::printf("%-8u %-12s %16.0f %14.1f %13.2fx\n", p, to_string(v),
+                  c.primary, c.secondary, cut);
+    }
+  }
+  if (const sim::Json* jk = s.meta.find("scale_ks");
+      jk != nullptr && jk->size() > 0) {
+    std::printf("\ncluster_amu host scaling at P = %u:\n", cpus.back());
+    for (const sim::Json& v : jk->elements()) {
+      if (i >= r.size()) return;
+      const CellResult& c = r[i++];
+      std::printf("  K=%llu: %16.0f cycles/episode\n",
+                  static_cast<unsigned long long>(v.as_uint()), c.primary);
+    }
+  }
+  std::printf("\nexpected shape: both cluster variants cut root-link "
+              "messages; AMU aggregation cuts them to O(clusters) — at "
+              "256+ CPUs >= 2x fewer than the flat tree, at lower "
+              "cycles/episode (the CI gate).\n");
+}
+
+// ------------------------------------------------ ablation_hier_depth
+// Topology shape x hierarchy depth: for each router radix, the flat AMO
+// tree baseline and the aggregated cluster barrier at 1..3 folded
+// levels. Skinny trees (radix 2) have many levels to fold; fat trees
+// saturate early.
+const std::array<std::uint32_t, 3> kHierRadixes = {2, 4, 8};
+const std::array<std::uint32_t, 3> kHierDepths = {1, 2, 3};
+
+/// Router levels of the fat tree derived for `nodes` leaves — the
+/// validate() ceiling for hier.levels (kept in step with config_io).
+std::uint32_t tree_height(std::uint32_t nodes, std::uint32_t radix) {
+  std::uint32_t height = 0;
+  for (std::uint32_t e = nodes; e > 1; e = (e + radix - 1) / radix) {
+    ++height;
+  }
+  return height;
+}
+
+SweepSpec build_hier_depth(const CliOptions& opt) {
+  SweepSpec s{"ablation_hier_depth", "ablation_hier_depth", {}, {}, {}};
+  const std::uint32_t p = resolved_cpus(opt, {256}, {64}).front();
+  const int episodes = resolved_episodes(opt, 4);
+  s.meta["cpus"] = cpus_json({p});
+  for (std::uint32_t radix : kHierRadixes) {
+    {
+      Cell c = cell(p, hier_params(HierBarrier::kFlatTree, episodes));
+      c.set.push_back({"net.radix", sim::Json(radix)});
+      s.cells.push_back(std::move(c));
+    }
+    // A depth past the derived tree height is a config error, not a
+    // deeper hierarchy; clamp so --quick (fewer nodes) stays valid.
+    // Assumes the default cpus_per_node=2 (these cells never change it).
+    const std::uint32_t height =
+        std::max(1u, tree_height((p + 1) / 2, radix));
+    for (std::uint32_t depth : kHierDepths) {
+      Cell c = cell(p, hier_params(HierBarrier::kClusterAmu, episodes));
+      c.set.push_back({"net.radix", sim::Json(radix)});
+      c.set.push_back({"hier.levels", sim::Json(std::min(depth, height))});
+      s.cells.push_back(std::move(c));
+    }
+  }
+  return s;
+}
+
+void print_hier_depth(const SweepSpec& s, std::span<const CellResult> r) {
+  std::printf("\n== Ablation: topology shape x hierarchy depth "
+              "(P=%u AMO barriers, rootmsg/ep | cycles/ep) ==\n",
+              meta_cpus(s).front());
+  std::printf("%-8s %18s %18s %18s %18s\n", "radix", "flat tree",
+              "agg depth 1", "agg depth 2", "agg depth 3");
+  const std::size_t cols = 1 + kHierDepths.size();
+  for (std::size_t i = 0; i < kHierRadixes.size(); ++i) {
+    std::printf("%-8u", kHierRadixes[i]);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const CellResult& c = r[i * cols + j];
+      std::printf(" %9.1f|%7.0f", c.secondary, c.primary);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: deeper folding keeps cutting root-link "
+              "messages (each level combines one more tier of clusters); "
+              "cycles are flat-to-better until the extra fan-in rounds "
+              "outweigh the relieved root links. Depths past the tree "
+              "height are clamped, so those columns repeat the deepest "
+              "valid depth.\n");
+}
+
+// ------------------------------------------------ ablation_hier_locks
+// Queue locks with and without topology awareness, across mechanisms:
+// plain MCS vs the CNA-style subtree-first MCS vs the HMCS hierarchy of
+// queues (thresholds from hier.*, defaults 64 and 8).
+const std::array<LockAlgo, 3> kHierLockAlgos = {LockAlgo::kMcs,
+                                                LockAlgo::kCna,
+                                                LockAlgo::kHmcs};
+
+SweepSpec build_hier_locks(const CliOptions& opt) {
+  SweepSpec s{"ablation_hier_locks", "ablation_hier_locks", {}, {}, {}};
+  const std::vector<std::uint32_t> cpus = resolved_cpus(opt, {32, 128}, {16});
+  const int iters = resolved_iters(opt, 5);
+  s.meta["cpus"] = cpus_json(cpus);
+  for (std::uint32_t p : cpus) {
+    for (LockAlgo algo : kHierLockAlgos) {
+      for (Mechanism m : sync::kAllMechanisms) {
+        Cell c = cell(p, {});
+        c.params.kernel = Kernel::kLockAlgo;
+        c.params.mech = m;
+        c.params.algo = algo;
+        c.params.iters = iters;
+        s.cells.push_back(std::move(c));
+      }
+    }
+  }
+  return s;
+}
+
+void print_hier_locks(const SweepSpec& s, std::span<const CellResult> r) {
+  const auto cpus = meta_cpus(s);
+  constexpr std::size_t kMechs = std::size(sync::kAllMechanisms);
+  std::printf("\n== Ablation: topology-aware queue locks "
+              "(total cycles, lower is better) ==\n");
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    std::printf("\nP = %u\n%-8s", cpus[i], "algo");
+    for (Mechanism m : sync::kAllMechanisms) {
+      std::printf(" %12s", sync::to_string(m));
+    }
+    std::printf("\n");
+    for (std::size_t k = 0; k < kHierLockAlgos.size(); ++k) {
+      std::printf("%-8s", to_string(kHierLockAlgos[k]));
+      for (std::size_t j = 0; j < kMechs; ++j) {
+        std::printf(" %12.0f",
+                    r[(i * kHierLockAlgos.size() + k) * kMechs + j].primary);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nexpected shape: under multi-node contention cna/hmcs "
+              "beat plain mcs (handoffs stay inside a cluster until the "
+              "threshold), with the gap growing with node count; the "
+              "bounded thresholds keep worst-case fairness.\n");
 }
 
 }  // namespace
@@ -915,6 +1142,15 @@ void register_builtin_workloads(WorkloadRegistry& reg) {
   reg.add({"microbench_pdes", "microbench_pdes",
            "host-parallel PDES scaling: wall-clock at sim_threads=1/2/4",
            build_microbench_pdes, print_microbench_pdes});
+  reg.add({"microbench_hier", "microbench_hier",
+           "cluster-hierarchical barriers: root-link traffic vs flat tree",
+           build_microbench_hier, print_microbench_hier});
+  reg.add({"ablation_hier_depth", "ablation_hier_depth",
+           "router radix x folded hierarchy depth for aggregated barriers",
+           build_hier_depth, print_hier_depth});
+  reg.add({"ablation_hier_locks", "ablation_hier_locks",
+           "mcs vs cna vs hmcs queue locks across every mechanism",
+           build_hier_locks, print_hier_locks});
 }
 
 }  // namespace amo::bench

@@ -141,9 +141,96 @@ void Amu::execute(AmoRequest& req, Entry& entry) {
                  static_cast<unsigned long long>(old),
                  static_cast<unsigned long long>(result));
   }
+  if (!agg_routes_.empty() && req.coherent && result != old) {
+    if (AggRoute* route = find_agg_route(req.addr);
+        route != nullptr && result % route->threshold == 0) {
+      agg_fire(*route, result);
+    }
+  }
   req.reply(old);
   dispatching_ = false;
   pump();
+}
+
+void Amu::add_agg_route(AggRoute route) {
+  assert(route.threshold > 0 && "aggregation threshold must be non-zero");
+  assert(wiring_ != nullptr && peers_ != nullptr &&
+         "connect_fabric before installing aggregation routes");
+  for (AggRoute& r : agg_routes_) {
+    if (r.counter == route.counter) {
+      r = std::move(route);
+      return;
+    }
+  }
+  agg_routes_.push_back(std::move(route));
+}
+
+Amu::AggRoute* Amu::find_agg_route(sim::Addr counter) {
+  for (AggRoute& r : agg_routes_) {
+    if (r.counter == counter) return &r;
+  }
+  return nullptr;
+}
+
+void Amu::agg_fire(AggRoute& route, std::uint64_t result) {
+  ++stats_.agg_fires;
+  const std::uint64_t episode = result / route.threshold;
+  if (!route.has_parent) {
+    // Root: the machine-wide episode is complete; wake the tree.
+    do_agg_release(route, episode);
+    return;
+  }
+  // Forward ONE combined fetch-add up the tree. The never-matching test
+  // value (monotonic counters are never 0 after an inc) keeps the parent
+  // counter's put policy silent: nobody spins on intermediate counters,
+  // the release wave is the signal.
+  ++stats_.agg_forwards;
+  Amu* parent = (*peers_)[route.parent_node];
+  AmoRequest fwd;
+  fwd.op = AmoOpcode::kFetchAdd;
+  fwd.addr = route.parent_counter;
+  fwd.operand = 1;
+  fwd.has_test = true;
+  fwd.test = 0;
+  fwd.coherent = true;
+  fwd.reply = [](std::uint64_t) {};  // fire-and-forget combining
+  wiring_->post(node_, route.parent_node, net::MsgClass::kRequest,
+                coh::MsgSizes{}.ctrl(),
+                [parent, fwd = std::move(fwd)]() mutable {
+                  parent->submit(std::move(fwd));
+                });
+}
+
+void Amu::agg_release(sim::Addr counter, std::uint64_t episode) {
+  AggRoute* route = find_agg_route(counter);
+  assert(route != nullptr && "release wave reached a node with no route");
+  do_agg_release(*route, episode);
+}
+
+void Amu::do_agg_release(AggRoute& route, std::uint64_t episode) {
+  ++stats_.agg_releases;
+  if (route.release != 0) {
+    // Publish through the AMU's own datapath: a direct word_put would be
+    // dropped for a word the AMU does not hold, but an amo.max (eager
+    // put, monotonic across pipelined episodes) first word-gets the
+    // release word — registering this AMU as a sharer — and then fans
+    // one update wave out to every spinner's cached copy.
+    AmoRequest pub;
+    pub.op = AmoOpcode::kMax;
+    pub.addr = route.release;
+    pub.operand = episode;
+    pub.coherent = true;
+    pub.reply = [](std::uint64_t) {};
+    submit(std::move(pub));
+  }
+  for (const auto& [child_node, child_counter] : route.children) {
+    Amu* child = (*peers_)[child_node];
+    wiring_->post(node_, child_node, net::MsgClass::kUpdate,
+                  coh::MsgSizes{}.word(),
+                  [child, child_counter, episode] {
+                    child->agg_release(child_counter, episode);
+                  });
+  }
 }
 
 Amu::Entry* Amu::lookup(sim::Addr addr) {

@@ -23,6 +23,7 @@
 #include "amu/amo_ops.hpp"
 #include "coh/agents.hpp"
 #include "coh/directory.hpp"
+#include "coh/wiring.hpp"
 #include "ds/ring_queue.hpp"
 #include "mem/backing.hpp"
 #include "mem/dram.hpp"
@@ -50,6 +51,11 @@ struct AmuStats {
   std::uint64_t puts = 0;
   std::uint64_t puts_suppressed = 0;  // silent ops (result == old value)
   sim::Accum queue_depth;
+  // Per-subtree aggregation counters (struct-only, not in the stats
+  // registry, so default-mode snapshots stay byte-identical).
+  std::uint64_t agg_fires = 0;     // route thresholds crossed
+  std::uint64_t agg_forwards = 0;  // combined fetch-adds sent up the tree
+  std::uint64_t agg_releases = 0;  // release-wave actions at this AMU
 };
 
 struct AmoRequest {
@@ -83,6 +89,49 @@ class Amu final : public coh::AmuIface {
 
   [[nodiscard]] const AmuStats& stats() const { return stats_; }
 
+  // ---- per-subtree aggregation (hierarchy-aware barriers) ----
+  //
+  // A route watches one monotonic counter word homed at this AMU. Every
+  // time an operation carries the counter across a multiple of
+  // `threshold` (episode k completes at value k * threshold), the AMU
+  // either forwards ONE combined fetch-add to the parent subtree's
+  // counter — so the root links see O(clusters) messages instead of
+  // O(P) arrivals — or, at the root, starts the release wave: publish
+  // the episode into the local release word (through the AMU's own
+  // eager-put datapath) and fan it down to the child aggregators, which
+  // recurse. Routes are installed by the cluster
+  // barrier at construction and are reusable across episodes because the
+  // counters only grow.
+
+  struct AggRoute {
+    sim::Addr counter = 0;         // watched counter word (homed here)
+    std::uint64_t threshold = 0;   // fires when result % threshold == 0
+    bool has_parent = false;       // false: this route is the root
+    sim::NodeId parent_node = 0;
+    sim::Addr parent_counter = 0;  // combined fetch-add target
+    sim::Addr release = 0;         // word-put target on release (0 = none)
+    std::vector<std::pair<sim::NodeId, sim::Addr>>
+        children;  // release fan-down: (node, child route counter)
+  };
+
+  /// Connects this AMU to the fabric for AMU -> AMU forwarding. Machine
+  /// calls this once after constructing every AMU; `peers` must stay
+  /// valid for the AMU's lifetime.
+  void connect_fabric(coh::Wiring* wiring, const std::vector<Amu*>* peers) {
+    wiring_ = wiring;
+    peers_ = peers;
+  }
+
+  /// Installs a route (replacing any existing route on the same counter).
+  /// Host-side configuration: call before the run starts.
+  void add_agg_route(AggRoute route);
+  void clear_agg_routes() { agg_routes_.clear(); }
+
+  /// Release-wave entry point; runs on this node's domain (posted by the
+  /// parent aggregator). Publishes the route's release word and forwards
+  /// to the route's children.
+  void agg_release(sim::Addr counter, std::uint64_t episode);
+
   /// Registers this AMU's counters under `prefix`.
   void register_stats(sim::StatsRegistry& reg, const std::string& prefix) const;
   [[nodiscard]] std::size_t queue_len() const { return queue_.size(); }
@@ -109,6 +158,12 @@ class Amu final : public coh::AmuIface {
   void start(AmoRequest req);
   void execute(AmoRequest& req, Entry& entry);
 
+  [[nodiscard]] AggRoute* find_agg_route(sim::Addr counter);
+  /// Fires the route's aggregation action for the episode that just
+  /// completed: forward up, or start the release wave at the root.
+  void agg_fire(AggRoute& route, std::uint64_t result);
+  void do_agg_release(AggRoute& route, std::uint64_t episode);
+
   sim::Engine& engine_;
   sim::NodeId node_;
   coh::Directory& dir_;
@@ -116,6 +171,10 @@ class Amu final : public coh::AmuIface {
   mem::Dram& dram_;
   AmuConfig config_;
   sim::Tracer* tracer_;
+
+  coh::Wiring* wiring_ = nullptr;          // aggregation transport
+  const std::vector<Amu*>* peers_ = nullptr;
+  std::vector<AggRoute> agg_routes_;       // few per node; linear lookup
 
   ds::RingQueue<AmoRequest> queue_;
   bool dispatching_ = false;

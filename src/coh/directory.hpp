@@ -282,8 +282,9 @@ class Directory {
   sim::Tracer* tracer_;
   sim::Cycle busy_until_ = 0;  // occupancy pipeline
 
-  // Entries are ~200 bytes; 64 per slab (the AddrTable default) keeps
-  // allocation rare without pinning much idle memory per directory.
+  // Entries are dominated by the kMaxCpus-wide sharer bitset (~600 bytes
+  // at 4096 CPUs); 64 per slab (the AddrTable default) keeps allocation
+  // rare without pinning much idle memory per directory.
   ds::AddrTable<Entry> entries_;
   ds::WaitPool<sim::InlineFn> wait_pool_;
 

@@ -248,6 +248,38 @@ void validate(const SystemConfig& c) {
          "conservative PDES (sim_threads > 1) needs a non-zero hop "
          "latency for lookahead");
   }
+  if (c.net.hop_cycles_per_level != 0 && c.net.hop_cycles == 0) {
+    fail("net.hop_cycles_per_level",
+         "per-level latency step needs a non-zero net.hop_cycles base "
+         "(level-0 links would be free)");
+  }
+  // Height of the fat tree Machine will derive: router levels above the
+  // nodes. The hierarchical mechanisms map their clusters onto these
+  // levels, so a deeper hierarchy than the tree is a config error.
+  std::uint32_t height = 0;
+  for (std::uint32_t e = c.num_nodes(); e > 1;
+       e = (e + c.net.radix - 1) / c.net.radix) {
+    ++height;
+  }
+  if (c.hier.levels == 0) {
+    fail("hier.levels", "cluster hierarchy needs at least one level");
+  }
+  if (c.hier.levels > height && !(height == 0 && c.hier.levels == 1)) {
+    fail("hier.levels",
+         "exceeds the tree height (" + std::to_string(height) +
+             " router level(s) at num_cpus=" + std::to_string(c.num_cpus) +
+             ", cpus_per_node=" + std::to_string(c.cpus_per_node) +
+             ", net.radix=" + std::to_string(c.net.radix) + ")");
+  }
+  if (c.hier.cna_threshold == 0) {
+    fail("hier.cna_threshold",
+         "the CNA starvation bound must be non-zero (remote waiters "
+         "would never be spliced back)");
+  }
+  if (c.hier.hmcs_threshold == 0) {
+    fail("hier.hmcs_threshold",
+         "the HMCS per-level passing threshold must be non-zero");
+  }
 }
 
 }  // namespace amo::core

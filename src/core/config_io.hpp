@@ -48,6 +48,7 @@ void visit_config_fields(Config& c, Visitor&& v) {
   v("dram.occupancy_cycles", c.dram.occupancy_cycles);
   v("net.radix", c.net.radix);
   v("net.hop_cycles", c.net.hop_cycles);
+  v("net.hop_cycles_per_level", c.net.hop_cycles_per_level);
   v("net.link_cycles_per_16b", c.net.link_cycles_per_16b);
   v("net.min_packet_bytes", c.net.min_packet_bytes);
   v("net.hardware_multicast", c.net.hardware_multicast);
@@ -68,6 +69,10 @@ void visit_config_fields(Config& c, Visitor&& v) {
   v("spin.uncached_watch", c.spin.uncached_watch);
   v("spin.watch_repoll_cycles", c.spin.watch_repoll_cycles);
   v("spin.llsc_watch_after", c.spin.llsc_watch_after);
+  v("hier.levels", c.hier.levels);
+  v("hier.cna_threshold", c.hier.cna_threshold);
+  v("hier.hmcs_threshold", c.hier.hmcs_threshold);
+  v("hier.amu_aggregation", c.hier.amu_aggregation);
   v("local_cycles", c.local_cycles);
   v("bus_cycles", c.bus_cycles);
   v("barrier_sw_overhead", c.barrier_sw_overhead);

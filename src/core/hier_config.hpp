@@ -1,0 +1,37 @@
+// Hierarchy-aware synchronization knobs (ROADMAP item 4).
+//
+// The fat tree already encodes locality; these knobs let the sync
+// library exploit it. `levels` selects how many physical tree levels the
+// cluster mechanisms (CNA lock, HMCS lock, cluster barrier) fold into
+// their hierarchy; the thresholds bound intra-cluster favoritism so
+// remote waiters cannot starve; `amu_aggregation` turns on the AMO-native
+// twist — intermediate home-node AMUs combine partial barrier counts and
+// forward one message up the tree instead of O(P) root-bound arrivals.
+#pragma once
+
+#include <cstdint>
+
+namespace amo::core {
+
+struct HierConfig {
+  /// Tree levels the hierarchical mechanisms span: cluster-of-cpu is the
+  /// node's ancestor entity at this level. Must be >= 1 and at most the
+  /// height of the derived topology (validate() enforces this).
+  std::uint32_t levels = 1;
+
+  /// CNA lock: consecutive same-cluster handoffs before the detached
+  /// remote queue is spliced back in (starvation bound). Must be nonzero.
+  std::uint32_t cna_threshold = 64;
+
+  /// HMCS lock: consecutive intra-cluster passes per hierarchy level
+  /// before the parent lock is released. Must be nonzero.
+  std::uint32_t hmcs_threshold = 8;
+
+  /// Cluster barrier: combine partial arrival counts in each subtree's
+  /// home-node AMU and forward a single fetch-add per cluster per episode
+  /// up the tree (kAmo mechanism only; other mechanisms ascend in
+  /// software).
+  bool amu_aggregation = false;
+};
+
+}  // namespace amo::core

@@ -86,6 +86,11 @@ Machine::Machine(const SystemConfig& config)
         config_.am_server));
     devices_.servers[n] = servers_[n].get();
   }
+  // Hook every AMU into the fabric for per-subtree aggregation
+  // (AMU -> AMU combining); devices_.amus is stable from here on.
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    amus_[n]->connect_fabric(wiring_.get(), &devices_.amus);
+  }
 
   // Index every subsystem's counters under hierarchical names. The
   // registry only holds pointers; all pointees are owned by this Machine.

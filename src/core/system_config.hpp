@@ -9,6 +9,7 @@
 #include "amu/amu.hpp"
 #include "coh/cache_ctrl.hpp"
 #include "coh/directory.hpp"
+#include "core/hier_config.hpp"
 #include "core/spin_config.hpp"
 #include "cpu/am_server.hpp"
 #include "mem/dram.hpp"
@@ -29,6 +30,7 @@ struct SystemConfig {
   cpu::AmServerConfig am_server;
   sim::Cycle am_timeout_cycles = 20000;
   SpinConfig spin;  // spin-wait virtualization / quiescence knobs
+  HierConfig hier;  // hierarchy-aware synchronization knobs
 
   /// On-node hub traversal (CPU <-> directory/AMU on the same die).
   sim::Cycle local_cycles = 24;

@@ -34,8 +34,27 @@ NetStats& NetStats::operator+=(const NetStats& o) {
     bytes_by_class[i] += o.bytes_by_class[i];
   }
   latency += o.latency;
+  for (std::size_t i = 0; i < link_traversals_by_level.size(); ++i) {
+    link_traversals_by_level[i] += o.link_traversals_by_level[i];
+  }
   return *this;
 }
+
+namespace {
+
+// Per-level latency table from the two scalar knobs: uniform hop_cycles
+// plus an optional per-level step for slower upper links.
+std::vector<sim::Cycle> seeded_latencies(const NetConfig& config,
+                                         const Topology& topo) {
+  std::vector<sim::Cycle> lat(topo.levels());
+  for (std::size_t l = 0; l < lat.size(); ++l) {
+    lat[l] = config.hop_cycles + static_cast<sim::Cycle>(l) *
+                                     config.hop_cycles_per_level;
+  }
+  return lat;
+}
+
+}  // namespace
 
 void Network::register_stats(sim::StatsRegistry& reg,
                              const std::string& prefix) const {
@@ -103,10 +122,9 @@ Network::Network(sim::Domains& domains, const NetConfig& config,
       multicast_gen_(domains.count(), 0),
       shards_(domains.count()) {
   assert(domains.num_nodes() >= config.num_nodes);
-  // Seed uniform per-level latencies from the hop_cycles knob; callers
-  // may overwrite with a non-uniform table afterwards.
-  topo_.set_link_latencies(
-      std::vector<sim::Cycle>(topo_.levels(), config.hop_cycles));
+  // Seed per-level latencies from the hop_cycles (+ optional per-level
+  // step) knobs; callers may overwrite with a non-uniform table afterwards.
+  topo_.set_link_latencies(seeded_latencies(config, topo_));
 }
 
 Network::Network(sim::Engine& engine, const NetConfig& config,
@@ -120,8 +138,7 @@ Network::Network(sim::Engine& engine, const NetConfig& config,
       charged_gen_(topo_.num_links(), 0),
       multicast_gen_(1, 0),
       shards_(1) {
-  topo_.set_link_latencies(
-      std::vector<sim::Cycle>(topo_.levels(), config.hop_cycles));
+  topo_.set_link_latencies(seeded_latencies(config, topo_));
 }
 
 const NetStats& Network::stats() const {
@@ -147,10 +164,12 @@ sim::Cycle Network::reserve_path(std::uint32_t d, RouteWalker& walk,
                                  bool dedup_links) {
   const sim::Cycle ser = serialization_cycles(size_bytes);
   const std::size_t base = static_cast<std::size_t>(d) * topo_.num_links();
+  NetStats& st = shards_[d];
   sim::Cycle t = now;
   LinkRef link;
   while (walk.next(link)) {
     const std::size_t idx = base + topo_.link_index(link);
+    ++st.link_traversals_by_level[link.level];
     bool charge = true;
     if (dedup_links) {
       charge = charged_gen_[idx] != multicast_gen_[d];

@@ -49,6 +49,12 @@ struct NetConfig {
   std::uint32_t link_cycles_per_16b = 10;  // serialization: 16 bytes / 10 cyc
   std::uint32_t min_packet_bytes = 32;   // NUMALink minimum packet
   bool hardware_multicast = false;       // ablation: multicast word updates
+  /// Extra per-link latency for each tree level above the leaves: a link
+  /// whose child endpoint sits at level l costs
+  /// hop_cycles + l * hop_cycles_per_level. 0 = uniform (the default).
+  /// Models upper fat-tree links (longer cables, more switch stages)
+  /// being slower — the regime where hierarchy-aware sync pays off.
+  sim::Cycle hop_cycles_per_level = 0;
 };
 
 struct NetStats {
@@ -60,6 +66,12 @@ struct NetStats {
   std::array<std::uint64_t, static_cast<std::size_t>(MsgClass::kCount)>
       bytes_by_class{};
   sim::Accum latency;  // injection -> delivery, cycles
+  /// Link traversals whose child endpoint sits at each tree level (up and
+  /// down directions both count once per packet crossing). Index
+  /// levels()-1 is the root links — the contended resource hierarchical
+  /// synchronization exists to relieve. Struct-only (not in the stats
+  /// registry), so snapshots stay byte-identical to pre-hierarchy builds.
+  std::array<std::uint64_t, RouteWalker::kMaxLevels> link_traversals_by_level{};
 
   void reset() { *this = NetStats{}; }
 
@@ -110,6 +122,17 @@ class Network {
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const NetConfig& config() const { return config_; }
   [[nodiscard]] sim::Domains& domains() { return domains_; }
+
+  /// Total traversals of the topmost (root) links, both directions,
+  /// summed over shards. 0 for topologies with no links. Same quiescence
+  /// caveat as stats().
+  [[nodiscard]] std::uint64_t root_link_traversals() const {
+    if (topo_.levels() == 0) return 0;
+    std::uint64_t v = 0;
+    for (const NetStats& s : shards_)
+      v += s.link_traversals_by_level[topo_.levels() - 1];
+    return v;
+  }
 
   /// Serialization delay for a packet of `size_bytes` (after clamping to
   /// the minimum packet size).

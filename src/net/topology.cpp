@@ -44,6 +44,14 @@ Topology::Topology(std::uint32_t num_nodes, std::uint32_t radix)
   // Uniform default latency; the Network overwrites this with its
   // hop_cycles knob (and callers may supply a non-uniform table).
   link_latency_.assign(levels(), sim::Cycle{1});
+  // radix^level per level, saturated at num_nodes so membership math never
+  // overflows (a root entity always covers every node).
+  std::uint64_t span = 1;
+  for (std::size_t l = 0; l < entities_per_level_.size(); ++l) {
+    subtree_span_.push_back(
+        static_cast<std::uint32_t>(span < num_nodes_ ? span : num_nodes_));
+    span *= radix_;
+  }
 }
 
 void Topology::set_link_latencies(const std::vector<sim::Cycle>& latencies) {

@@ -131,6 +131,56 @@ class Topology {
     return link_latency_[level];
   }
 
+  // --- Membership queries (hierarchy-aware synchronization) ---------------
+  // The sync library carves the machine into clusters that follow the
+  // physical tree: the cluster of a node at level L is its ancestor entity
+  // at that level, and a cluster's member nodes are a contiguous range
+  // (entities are laid out in node order, parent = child / radix).
+
+  /// Ancestor entity of `node` at `level` (level 0 = the node itself).
+  [[nodiscard]] std::uint32_t ancestor_of(sim::NodeId node,
+                                          std::uint32_t level) const {
+    assert(node < num_nodes_);
+    assert(level < entities_per_level_.size());
+    return radix_shift_ != 0 ? node >> (radix_shift_ * level)
+                             : node / subtree_span_[level];
+  }
+
+  /// Maximum nodes a level-`level` entity can cover (radix^level,
+  /// saturated at num_nodes()).
+  [[nodiscard]] std::uint32_t subtree_span(std::uint32_t level) const {
+    assert(level < subtree_span_.size());
+    return subtree_span_[level];
+  }
+
+  /// First node in the subtree rooted at entity `e` of `level`.
+  [[nodiscard]] std::uint32_t subtree_first_node(std::uint32_t level,
+                                                 std::uint32_t e) const {
+    assert(level < entities_per_level_.size());
+    assert(e < entities_per_level_[level]);
+    return e * subtree_span_[level];
+  }
+
+  /// Number of nodes in the subtree rooted at entity `e` of `level`
+  /// (the last entity at a level may cover a partial range).
+  [[nodiscard]] std::uint32_t subtree_num_nodes(std::uint32_t level,
+                                                std::uint32_t e) const {
+    const std::uint32_t first = subtree_first_node(level, e);
+    const std::uint32_t span = subtree_span_[level];
+    return first + span <= num_nodes_ ? span : num_nodes_ - first;
+  }
+
+  /// Number of populated children a level-`level` entity has one level
+  /// down (level >= 1; children of a level-1 router are nodes).
+  [[nodiscard]] std::uint32_t num_children(std::uint32_t level,
+                                           std::uint32_t e) const {
+    assert(level >= 1 && level < entities_per_level_.size());
+    const std::uint32_t below = entities_per_level_[level - 1];
+    const std::uint32_t first = e * radix_;
+    assert(first < below);
+    return first + radix_ <= below ? radix_ : below - first;
+  }
+
   /// The cheapest single link traversal anywhere in the tree. Any packet
   /// between distinct nodes crosses hop_count() >= 2 links, so this is
   /// the building block of the conservative PDES lookahead: a message
@@ -153,6 +203,7 @@ class Topology {
   std::vector<std::uint32_t> up_link_base_;   // flat index base per level
   std::vector<std::uint32_t> down_link_base_;
   std::vector<sim::Cycle> link_latency_;      // per-level traversal cost
+  std::vector<std::uint32_t> subtree_span_;   // radix^level, saturated
   std::uint32_t num_links_ = 0;
 };
 

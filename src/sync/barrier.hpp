@@ -60,4 +60,19 @@ std::unique_ptr<Barrier> make_dissemination_barrier(core::Machine& m,
                                                     Mechanism mech,
                                                     std::uint32_t participants);
 
+/// Cluster-hierarchical combining barrier: fan-in follows the machine's
+/// fat-tree `Topology` (node groups, then `levels` tree levels of
+/// clusters, then a root), with every counter/release word homed at the
+/// first node of its subtree. `amu_aggregation` (kAmo only; ignored for
+/// other mechanisms) moves the whole combining tree memory-side:
+/// intermediate home-node AMUs merge partial counts and forward one
+/// fetch-add per cluster per episode, and the root AMU drives the
+/// release wave back down — root-link traffic drops from O(P) to
+/// O(clusters).
+std::unique_ptr<Barrier> make_cluster_barrier(core::Machine& m,
+                                              Mechanism mech,
+                                              std::uint32_t participants,
+                                              std::uint32_t levels,
+                                              bool amu_aggregation = false);
+
 }  // namespace amo::sync

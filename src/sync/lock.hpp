@@ -49,6 +49,25 @@ std::unique_ptr<Lock> make_array_lock(core::Machine& m, Mechanism mech,
 /// amo.swap so the successor's cached copy is patched in place.
 std::unique_ptr<Lock> make_mcs_lock(core::Machine& m, Mechanism mech);
 
+/// Compact NUMA-aware queue lock (Dice & Kogan): an MCS queue whose
+/// releaser prefers a successor inside its own cluster — the holder's
+/// topology subtree at `level` — parking scanned-over remote waiters on a
+/// secondary queue. `threshold` bounds starvation: after that many
+/// consecutive handoffs bypassing a non-empty secondary queue, it is
+/// spliced back in front.
+std::unique_ptr<Lock> make_cna_lock(core::Machine& m, Mechanism mech,
+                                    std::uint32_t level,
+                                    std::uint32_t threshold);
+
+/// Hierarchical MCS lock (Chabbi et al.): a stack of MCS queues following
+/// the machine's fat tree (node tier, `levels` cluster tiers, a root).
+/// Handoffs stay inside the smallest cluster with a waiter for up to
+/// `threshold` consecutive passes per tier before the parent tier is
+/// surrendered.
+std::unique_ptr<Lock> make_hmcs_lock(core::Machine& m, Mechanism mech,
+                                     std::uint32_t levels,
+                                     std::uint32_t threshold);
+
 struct TasLockConfig {
   sim::Cycle backoff_min = 64;    // first backoff after a failed attempt
   sim::Cycle backoff_max = 8192;  // exponential cap
