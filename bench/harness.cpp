@@ -401,7 +401,9 @@ void JsonReporter::write() {
   written_ = true;
   sim::Json doc = sim::Json::object();
   doc["bench"] = name_;
-  doc["schema_version"] = 1;
+  // v2: LogHistogram entries (count/sum/min/max/mean/p50/p90/p99/p999
+  // objects) may appear in registry dumps; all v1 fields are unchanged.
+  doc["schema_version"] = 2;
   doc["records"] = records_;
   std::ofstream out(path_, std::ios::trunc);
   if (!out) {

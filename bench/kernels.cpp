@@ -3,12 +3,15 @@
 // binaries, now driven by CellParams instead of their own main().
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "bench/scenario.hpp"
 #include "core/machine.hpp"
+#include "sim/stats.hpp"
 #include "sim/timeout.hpp"
+#include "svc/service.hpp"
 #include "sync/barrier.hpp"
 #include "sync/lock.hpp"
 #include "sync/mechanism.hpp"
@@ -481,6 +484,76 @@ CellResult run_hier_cell(const core::SystemConfig& cfg, const CellParams& p) {
   return r;
 }
 
+// Open-loop sharded-service scenario: every cpu runs an independent
+// Poisson arrival process (mean gap = service.interarrival_cycles) and
+// pushes each request through the ShardedService. Latency is measured
+// from the *scheduled* arrival, so when the service can't keep up the
+// backlog is charged to the requests — the heavy-traffic regime where
+// LL/SC retry collapse shows as a p999 explosion. Latencies land in
+// per-domain LogHistogram shards merged in ascending domain order, so
+// the emitted quantiles are identical across --sim-threads.
+CellResult run_service_cell(const core::SystemConfig& cfg_in,
+                            const CellParams& p) {
+  core::SystemConfig cfg = cfg_in;
+  cfg.stats.histograms = true;  // this scenario exists to read them
+  core::Machine m(cfg);
+  svc::ShardedService service(m, p.mech);
+  const std::uint64_t requests = p.requests;
+  const sim::Cycle mean_gap = cfg.service.interarrival_cycles;
+  std::vector<sim::LogHistogram> lat(m.domains().count());
+  for (sim::CpuId c = 0; c < cfg.num_cpus; ++c) {
+    const std::uint32_t dom = m.domains().domain_of(c / cfg.cpus_per_node);
+    m.spawn(c, [&service, &lat, dom, requests,
+                mean_gap](core::ThreadCtx& t) -> sim::Task<void> {
+      sim::LogHistogram& h = lat[dom];
+      sim::Cycle next = 0;
+      for (std::uint64_t i = 0; i < requests; ++i) {
+        const double gap =
+            t.rng().exponential() * static_cast<double>(mean_gap);
+        next += std::max<sim::Cycle>(
+            1, static_cast<sim::Cycle>(std::ceil(gap)));
+        if (t.now() < next) co_await t.delay(next - t.now());
+        const std::uint64_t key = t.rng().next() % service.key_space();
+        co_await service.handle(t, key);
+        h.record(t.now() - next);
+      }
+    });
+  }
+  m.run();
+  sim::LogHistogram merged;
+  for (const sim::LogHistogram& h : lat) merged += h;
+
+  const sim::Cycle total_cycles = m.domains().max_now();
+  if (JsonReporter* rep = JsonReporter::current();
+      rep != nullptr && rep->active()) {
+    sim::Json rec = sim::Json::object();
+    rec["workload"] = "service";
+    rec["cpus"] = cfg.num_cpus;
+    rec["sim_threads"] = cfg.sim_threads;
+    rec["mechanism"] = sync::to_string(p.mech);
+    rec["shards"] = service.num_shards();
+    rec["interarrival"] = mean_gap;
+    rec["requests"] = merged.count();
+    rec["latency"]["mean"] = merged.mean();
+    rec["latency"]["min"] = merged.min();
+    rec["latency"]["max"] = merged.max();
+    rec["latency"]["p50"] = merged.quantile(0.50);
+    rec["latency"]["p90"] = merged.quantile(0.90);
+    rec["latency"]["p99"] = merged.quantile(0.99);
+    rec["latency"]["p999"] = merged.quantile(0.999);
+    rec["cycles"] = total_cycles;
+    rec["registry"] = m.stats_json();
+    rep->add(std::move(rec));
+  }
+  CellResult r;
+  r.primary = static_cast<double>(merged.quantile(0.999));
+  r.secondary = merged.mean();
+  r.traffic.packets = m.network().stats().packets;
+  r.traffic.bytes = m.network().stats().bytes;
+  r.aux = merged.count();
+  return r;
+}
+
 }  // namespace
 
 CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
@@ -496,6 +569,7 @@ CellResult run_cell(const core::SystemConfig& cfg, const CellParams& params) {
     case Kernel::kSpin: return run_spin_cell(cfg, params);
     case Kernel::kPdes: return run_pdes_cell(cfg, params);
     case Kernel::kHier: return run_hier_cell(cfg, params);
+    case Kernel::kService: return run_service_cell(cfg, params);
   }
   return {};
 }

@@ -27,6 +27,7 @@ constexpr EnumEntry<Kernel> kKernelNames[] = {
     {Kernel::kSpin, "spin"},
     {Kernel::kPdes, "pdes"},
     {Kernel::kHier, "hier"},
+    {Kernel::kService, "service"},
 };
 constexpr EnumEntry<LockAlgo> kAlgoNames[] = {
     {LockAlgo::kTas, "tas"},
@@ -134,6 +135,7 @@ sim::Json params_to_json(const CellParams& p) {
   if (p.style != d.style) j["style"] = enum_name(kStyleNames, p.style);
   if (p.active != d.active) j["active"] = p.active;
   if (p.hier != d.hier) j["hier"] = enum_name(kHierNames, p.hier);
+  if (p.requests != d.requests) j["requests"] = p.requests;
   return j;
 }
 
@@ -188,12 +190,14 @@ CellParams params_from_json(const sim::Json& j) {
       p.active = static_cast<std::uint32_t>(uint_value(f, v));
     } else if (key == "hier") {
       p.hier = enum_value(kHierNames, f, v);
+    } else if (key == "requests") {
+      p.requests = uint_value(f, v);
     } else {
       throw std::runtime_error(
           f + ": unknown parameter; candidates: kernel, mech, kind, fanout, "
               "warmup_episodes, episodes, max_skew, array, warmup_iters, "
               "iters, cs_cycles, algo, backoff, locks, rounds, style, "
-              "active, hier");
+              "active, hier, requests");
     }
   }
   return p;

@@ -32,6 +32,7 @@ enum class Kernel : std::uint8_t {
   kSpin,           // spin-virtualization cost: barrier + idle busy-waiters
   kPdes,           // host-parallel scaling probe: tree barrier + wall clock
   kHier,           // hierarchy-aware barriers: root-link traffic + cycles
+  kService,        // open-loop sharded service: tail latency vs offered load
 };
 
 enum class LockAlgo : std::uint8_t { kTas, kTicket, kArray, kMcs, kCna,
@@ -81,6 +82,9 @@ struct CellParams {
   std::uint32_t active = 0;
   // kHier: barrier variant (flat tree baseline vs cluster-hierarchical)
   HierBarrier hier = HierBarrier::kFlatTree;
+  // kService: requests per CPU (offered load comes from the
+  // service.interarrival_cycles config knob, set per cell)
+  std::uint64_t requests = 65536;
 };
 
 /// What every kernel reports. Which fields are meaningful depends on the

@@ -38,6 +38,7 @@ Amu::Amu(sim::Engine& engine, sim::NodeId node, coh::Directory& dir,
 void Amu::submit(AmoRequest req) {
   assert(req.reply && "AMO request needs a reply path");
   assert((req.addr & 7) == 0 && "AMO operands are 8-byte aligned words");
+  req.enqueued_at = engine_.now();
   queue_.push_back(std::move(req));
   stats_.queue_depth.add(queue_.size());
   pump();
@@ -47,6 +48,9 @@ void Amu::pump() {
   if (dispatching_ || queue_.empty()) return;
   dispatching_ = true;
   AmoRequest req = queue_.pop_front();
+  if (config_.histograms) {
+    stats_.queue_wait_hist.record(engine_.now() - req.enqueued_at);
+  }
 
   ++stats_.ops;
   if (req.coherent) {
@@ -323,6 +327,10 @@ void Amu::register_stats(sim::StatsRegistry& reg,
   reg.add_counter(prefix + ".puts", &stats_.puts);
   reg.add_counter(prefix + ".puts_suppressed", &stats_.puts_suppressed);
   reg.add_accum(prefix + ".queue_depth", &stats_.queue_depth);
+  if (config_.histograms) {
+    // Conditional so default-mode registry dumps stay byte-identical.
+    reg.add_hist(prefix + ".queue_wait_hist", &stats_.queue_wait_hist);
+  }
 }
 
 }  // namespace amo::amu

@@ -39,6 +39,9 @@ struct AmuConfig {
   std::uint32_t cache_words = 8;  // paper: eight-word AMU cache
   sim::Cycle op_cycles = 8;       // 2 hub cycles @ 500 MHz = 8 CPU cycles
   bool eager_put_all = false;     // ablation: ignore test values
+  /// Derived from stats.histograms by Machine (not a serialized knob):
+  /// record per-request queue wait into AmuStats::queue_wait_hist.
+  bool histograms = false;
 };
 
 struct AmuStats {
@@ -56,6 +59,10 @@ struct AmuStats {
   std::uint64_t agg_fires = 0;     // route thresholds crossed
   std::uint64_t agg_forwards = 0;  // combined fetch-adds sent up the tree
   std::uint64_t agg_releases = 0;  // release-wave actions at this AMU
+  /// Cycles each request waited in the dispatch queue (recorded and
+  /// registered only when AmuConfig::histograms). Last member: a cold
+  /// ~8 KB block behind the hot counters.
+  sim::LogHistogram queue_wait_hist;
 };
 
 struct AmoRequest {
@@ -66,6 +73,7 @@ struct AmoRequest {
   bool has_test = false;
   std::uint64_t test = 0;
   bool coherent = true;  // true: AMO, false: MAO
+  sim::Cycle enqueued_at = 0;  // submit() stamp, for the queue-wait histogram
   // Receives the *old* value. InlineFn storage makes requests move-only;
   // they travel through the queue and retry loops without allocation.
   sim::InlineFnT<std::uint64_t> reply;

@@ -130,6 +130,7 @@ sim::Task<void> CacheCtrl::request_line(sim::Addr addr, bool want_m) {
   Mshr* m = mshr_.find(block);
   if (m == nullptr) {
     m = &mshr_.get_or_create(block);
+    m->born = engine_.now();
     mem::Cache::Line* line = l2_.find(addr, /*touch=*/false);
     Directory& dir = home_dir(addr);
     if (line != nullptr && want_m) {
@@ -230,6 +231,9 @@ void CacheCtrl::notify_line(sim::Addr block) {
 void CacheCtrl::complete_mshr(sim::Addr block) {
   Mshr* m = mshr_.find(block);
   if (m == nullptr) return;
+  if (config_.histograms) {
+    stats_.mshr_residency_hist.record(engine_.now() - m->born);
+  }
   ds::WaitPool<sim::Promise<std::uint64_t>>::Queue q = m->waiters;
   m->waiters = {};
   mshr_.erase(block);
@@ -399,6 +403,11 @@ void CacheCtrl::register_stats(sim::StatsRegistry& reg,
   reg.add_counter(prefix + ".word_updates", &stats_.word_updates);
   reg.add_counter(prefix + ".writebacks", &stats_.writebacks);
   l2_.register_stats(reg, prefix + ".l2");
+  if (config_.histograms) {
+    // Conditional so default-mode registry dumps stay byte-identical.
+    reg.add_hist(prefix + ".mshr_residency_hist",
+                 &stats_.mshr_residency_hist);
+  }
 }
 
 }  // namespace amo::coh

@@ -46,6 +46,10 @@ struct CacheCtrlConfig {
   /// lost-wakeup holes that the fallback re-poll timer papers over in
   /// default mode; with no timer they must wake through events.
   bool spin_wake_all = false;
+  /// Derived from stats.histograms by Machine (not a serialized knob):
+  /// record MSHR residency (allocation to completion) into
+  /// CacheCtrlStats::mshr_residency_hist.
+  bool histograms = false;
 };
 
 struct CacheCtrlStats {
@@ -62,6 +66,10 @@ struct CacheCtrlStats {
   std::uint64_t invals = 0;
   std::uint64_t word_updates = 0;
   std::uint64_t writebacks = 0;
+  /// Cycles each MSHR stayed allocated (miss issue to completion),
+  /// recorded and registered only when CacheCtrlConfig::histograms. Last
+  /// member: a cold ~8 KB block behind the hot counters.
+  sim::LogHistogram mshr_residency_hist;
 };
 
 class CacheCtrl final : public CacheIface {
@@ -176,6 +184,7 @@ class CacheCtrl final : public CacheIface {
   // allocation.
   struct Mshr {
     ds::WaitPool<sim::Promise<std::uint64_t>>::Queue waiters;
+    sim::Cycle born = 0;  // allocation time, for the residency histogram
     std::uint32_t next_free = ds::kNilIndex;  // intrusive AddrTable link
   };
   struct LineWait {

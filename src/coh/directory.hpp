@@ -54,6 +54,10 @@ struct DirConfig {
   /// default — the watch table, its counters, and every ping check are
   /// inert so default-mode runs are untouched.
   bool word_watch = false;
+  /// Derived from stats.histograms by Machine (not a serialized knob):
+  /// record how long each message waits for a free directory pipeline
+  /// slot into DirStats::occupancy_wait_hist.
+  bool histograms = false;
 };
 
 struct DirStats {
@@ -75,6 +79,10 @@ struct DirStats {
   std::uint64_t watch_regs = 0;   // registrations parked
   std::uint64_t watch_hits = 0;   // registrations answered immediately
   std::uint64_t watch_wakes = 0;  // parked watchers woken by a ping
+  /// Cycles each incoming message queued for a free pipeline slot
+  /// (recorded and registered only when DirConfig::histograms). Last
+  /// member: a cold ~8 KB block behind the hot counters.
+  sim::LogHistogram occupancy_wait_hist;
 };
 
 class Directory {

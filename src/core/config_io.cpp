@@ -280,6 +280,21 @@ void validate(const SystemConfig& c) {
     fail("hier.hmcs_threshold",
          "the HMCS per-level passing threshold must be non-zero");
   }
+  if (c.service.shards == 0) {
+    fail("service.shards", "the service needs at least one shard");
+  }
+  if (c.service.queue_capacity == 0) {
+    fail("service.queue_capacity",
+         "each shard queue needs at least one slot");
+  }
+  if (c.service.key_space == 0) {
+    fail("service.key_space", "requests need at least one key to pick");
+  }
+  if (c.service.interarrival_cycles == 0) {
+    fail("service.interarrival_cycles",
+         "the mean interarrival gap must be non-zero (arrival rate would "
+         "be infinite)");
+  }
 }
 
 }  // namespace amo::core

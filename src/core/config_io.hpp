@@ -73,6 +73,12 @@ void visit_config_fields(Config& c, Visitor&& v) {
   v("hier.cna_threshold", c.hier.cna_threshold);
   v("hier.hmcs_threshold", c.hier.hmcs_threshold);
   v("hier.amu_aggregation", c.hier.amu_aggregation);
+  v("service.shards", c.service.shards);
+  v("service.queue_capacity", c.service.queue_capacity);
+  v("service.work_cycles", c.service.work_cycles);
+  v("service.key_space", c.service.key_space);
+  v("service.interarrival_cycles", c.service.interarrival_cycles);
+  v("stats.histograms", c.stats.histograms);
   v("local_cycles", c.local_cycles);
   v("bus_cycles", c.bus_cycles);
   v("barrier_sw_overhead", c.barrier_sw_overhead);

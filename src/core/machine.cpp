@@ -29,8 +29,24 @@ Machine::Machine(const SystemConfig& config)
                      config_.spin.llsc_watch_after != 0;
   config_.cache.spin_wake_all = quiesce;
   config_.dir.word_watch = watch;
+  // One observability knob fans out to every subsystem's derived flag
+  // (same pattern as quiesce/watch above): default-off keeps recording
+  // branches cold and registry dumps byte-identical.
+  const bool hists = config_.stats.histograms;
+  config_.cache.histograms = hists;
+  config_.dir.histograms = hists;
+  config_.amu.histograms = hists;
+  config_.dram.histograms = hists;
+  if (hists) {
+    engine_dispatch_hists_.resize(domains_.count());
+    sync_hists_.resize(domains_.count());
+    for (std::uint32_t d = 0; d < domains_.count(); ++d) {
+      domains_.engine(d).set_dispatch_hist(&engine_dispatch_hists_[d]);
+    }
+  }
   net::NetConfig net_cfg = config_.net;
   net_cfg.num_nodes = nodes;
+  net_cfg.histograms = hists;
   // A single-node machine still needs a valid (degenerate) topology.
   network_ = std::make_unique<net::Network>(domains_, net_cfg, tr);
   wiring_ = std::make_unique<coh::Wiring>(domains_, *network_,
@@ -66,8 +82,10 @@ Machine::Machine(const SystemConfig& config)
     cores_.push_back(std::make_unique<cpu::Core>(
         ce, *wiring_, agents_, devices_, c, core_cfg, tr));
     agents_.caches[c] = &cores_[c]->cache();
-    ctxs_.push_back(std::make_unique<ThreadCtx>(*cores_[c], ce,
-                                                rng_.split(), config_.spin));
+    ctxs_.push_back(std::make_unique<ThreadCtx>(
+        *cores_[c], ce, rng_.split(), config_.spin,
+        hists ? &sync_hists_[domains_.domain_of(c / config_.cpus_per_node)]
+              : nullptr));
   }
 
   amus_.reserve(nodes);
@@ -139,6 +157,34 @@ Machine::Machine(const SystemConfig& config)
       ctxs_[c]->register_spin_stats(registry_,
                                     "cpu" + std::to_string(c) + ".spin");
     }
+  }
+  if (hists) {
+    // Latency histograms, all conditional: default-mode dumps keep their
+    // exact bytes, and every merge walks shards in ascending domain
+    // order. (The net and per-node/per-cpu subsystem histograms above
+    // registered themselves behind their own derived flags.)
+    registry_.add_hist_fn("engine.dispatch_delay_hist",
+                          [this](sim::LogHistogram& out) {
+                            for (const auto& h : engine_dispatch_hists_) {
+                              out += h;
+                            }
+                          });
+    for (sim::NodeId n = 0; n < nodes; ++n) {
+      drams_[n]->register_stats(registry_,
+                                "node" + std::to_string(n) + ".dram");
+    }
+    registry_.add_hist_fn("sync.lock_acquire_hist",
+                          [this](sim::LogHistogram& out) {
+                            for (const auto& h : sync_hists_) {
+                              out += h.lock_acquire;
+                            }
+                          });
+    registry_.add_hist_fn("sync.barrier_episode_hist",
+                          [this](sim::LogHistogram& out) {
+                            for (const auto& h : sync_hists_) {
+                              out += h.barrier_episode;
+                            }
+                          });
   }
 }
 

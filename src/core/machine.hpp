@@ -146,6 +146,12 @@ class Machine {
   std::vector<std::unique_ptr<cpu::Core>> cores_;
   std::vector<std::unique_ptr<cpu::AmServer>> servers_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  // Per-domain histogram shards (empty unless stats.histograms): each
+  // domain thread records into its own element only; the registry merges
+  // them in ascending domain order at snapshot time. Sized once in the
+  // ctor — engines and ThreadCtxs hold pointers into them.
+  std::vector<sim::LogHistogram> engine_dispatch_hists_;
+  std::vector<SyncHists> sync_hists_;
   sim::StatsRegistry registry_;
 
   // deque: spawn keeps a reference to the stored functor until the thread

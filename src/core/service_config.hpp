@@ -1,0 +1,35 @@
+// Sharded-service workload knobs (the "millions of users" scenario):
+// an open-loop key-value/session service whose requests take a shard
+// lock, bump a shared counter, and bounce through the shard's MPMC
+// queue. Offered load is set by the mean interarrival gap per client.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace amo::core {
+
+struct ServiceConfig {
+  /// Number of service shards; requests hash to key % shards, and shard
+  /// i's lock/counter/queue words are homed on node i % num_nodes.
+  std::uint32_t shards = 4;
+
+  /// Capacity of each shard's MPMC queue (slots).
+  std::uint32_t queue_capacity = 64;
+
+  /// Pure compute per request, held inside the shard lock (the critical
+  /// section the mechanisms contend on).
+  sim::Cycle work_cycles = 200;
+
+  /// Size of the key space requests are drawn from (uniformly).
+  std::uint32_t key_space = 1024;
+
+  /// Mean of the exponential gap between consecutive request arrivals at
+  /// one client, in cycles. Smaller = higher offered load; arrivals are
+  /// open-loop (independent of completions), so a saturated mechanism
+  /// builds a backlog that shows up as tail latency.
+  sim::Cycle interarrival_cycles = 2000;
+};
+
+}  // namespace amo::core

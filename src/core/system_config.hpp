@@ -10,7 +10,9 @@
 #include "coh/cache_ctrl.hpp"
 #include "coh/directory.hpp"
 #include "core/hier_config.hpp"
+#include "core/service_config.hpp"
 #include "core/spin_config.hpp"
+#include "core/stats_config.hpp"
 #include "cpu/am_server.hpp"
 #include "mem/dram.hpp"
 #include "net/network.hpp"
@@ -29,8 +31,10 @@ struct SystemConfig {
   amu::AmuConfig amu;           // AMU cache size, op latency, put policy
   cpu::AmServerConfig am_server;
   sim::Cycle am_timeout_cycles = 20000;
-  SpinConfig spin;  // spin-wait virtualization / quiescence knobs
-  HierConfig hier;  // hierarchy-aware synchronization knobs
+  SpinConfig spin;        // spin-wait virtualization / quiescence knobs
+  HierConfig hier;        // hierarchy-aware synchronization knobs
+  ServiceConfig service;  // sharded-service workload knobs
+  StatsConfig stats;      // observability (latency histograms)
 
   /// On-node hub traversal (CPU <-> directory/AMU on the same die).
   sim::Cycle local_cycles = 24;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/spin_config.hpp"
+#include "core/stats_config.hpp"
 #include "cpu/core.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats_registry.hpp"
@@ -30,8 +31,13 @@ struct SpinStats {
 class ThreadCtx {
  public:
   ThreadCtx(cpu::Core& core, sim::Engine& engine, sim::Rng rng,
-            const SpinConfig& spin = SpinConfig{})
-      : core_(core), engine_(engine), rng_(rng), spin_(spin) {}
+            const SpinConfig& spin = SpinConfig{},
+            SyncHists* sync_hists = nullptr)
+      : core_(core),
+        engine_(engine),
+        rng_(rng),
+        spin_(spin),
+        sync_hists_(sync_hists) {}
 
   [[nodiscard]] sim::CpuId cpu() const { return core_.cpu(); }
   [[nodiscard]] sim::NodeId node() const { return core_.node(); }
@@ -39,6 +45,11 @@ class ThreadCtx {
   [[nodiscard]] cpu::Core& core() { return core_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] sim::Cycle now() const { return engine_.now(); }
+
+  /// This thread's domain's sync-latency histogram shard, or nullptr
+  /// when stats.histograms is off. The sync library's recording
+  /// decorators write lock-acquire / barrier-episode latencies here.
+  [[nodiscard]] SyncHists* sync_hists() { return sync_hists_; }
 
   /// Spin-wait virtualization knobs (machine-wide; see SpinConfig).
   [[nodiscard]] const SpinConfig& spin() const { return spin_; }
@@ -136,6 +147,7 @@ class ThreadCtx {
   sim::Rng rng_;
   SpinConfig spin_;
   SpinStats spin_stats_;
+  SyncHists* sync_hists_ = nullptr;
 };
 
 }  // namespace amo::core

@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "sim/stats_registry.hpp"
 #include "sim/types.hpp"
 
 namespace amo::mem {
@@ -15,6 +17,9 @@ namespace amo::mem {
 struct DramConfig {
   sim::Cycle access_cycles = 60;    // paper Table 1: 60 CPU cycles
   sim::Cycle occupancy_cycles = 8;  // channel reservation per line access
+  /// Derived from stats.histograms by Machine (not a serialized knob):
+  /// record per-access channel queueing into the wait histogram.
+  bool histograms = false;
 };
 
 class Dram {
@@ -30,11 +35,27 @@ class Dram {
     const sim::Cycle done = start + config_.access_cycles;
     ++accesses_;
     wait_.add(start - engine_.now());
+    if (config_.histograms) wait_hist_.record(start - engine_.now());
     return done;
   }
 
   [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
   [[nodiscard]] const sim::Accum& queue_wait() const { return wait_; }
+  [[nodiscard]] const sim::LogHistogram& queue_wait_hist() const {
+    return wait_hist_;
+  }
+
+  /// Registers the DRAM counters. Machine calls this only when
+  /// stats.histograms is on — the "node<N>.dram" group is entirely new,
+  /// so default-mode registry dumps stay byte-identical.
+  void register_stats(sim::StatsRegistry& reg,
+                      const std::string& prefix) const {
+    reg.add_counter(prefix + ".accesses", &accesses_);
+    reg.add_accum(prefix + ".queue_wait", &wait_);
+    if (config_.histograms) {
+      reg.add_hist(prefix + ".queue_wait_hist", &wait_hist_);
+    }
+  }
 
  private:
   sim::Engine& engine_;
@@ -42,6 +63,8 @@ class Dram {
   sim::Cycle busy_until_ = 0;
   std::uint64_t accesses_ = 0;
   sim::Accum wait_;
+  // Cold ~8 KB block, last so the hot members share the leading lines.
+  sim::LogHistogram wait_hist_;
 };
 
 }  // namespace amo::mem

@@ -37,6 +37,14 @@ NetStats& NetStats::operator+=(const NetStats& o) {
   for (std::size_t i = 0; i < link_traversals_by_level.size(); ++i) {
     link_traversals_by_level[i] += o.link_traversals_by_level[i];
   }
+  if (!o.link_latency_hist.empty()) {
+    if (link_latency_hist.size() < o.link_latency_hist.size()) {
+      link_latency_hist.resize(o.link_latency_hist.size());
+    }
+    for (std::size_t i = 0; i < o.link_latency_hist.size(); ++i) {
+      link_latency_hist[i] += o.link_latency_hist[i];
+    }
+  }
   return *this;
 }
 
@@ -74,6 +82,7 @@ void Network::register_stats(sim::StatsRegistry& reg,
       reg.add_counter(prefix + ".bytes_by_class." + cls,
                       &s.bytes_by_class[i]);
     }
+    register_hist_stats(reg, prefix);
     return;
   }
   // Multi-domain: sum the shards at snapshot time (ascending domain
@@ -107,6 +116,25 @@ void Network::register_stats(sim::StatsRegistry& reg,
       return v;
     });
   }
+  register_hist_stats(reg, prefix);
+}
+
+void Network::register_hist_stats(sim::StatsRegistry& reg,
+                                  const std::string& prefix) const {
+  if (!config_.histograms) return;
+  // Snapshot-time merge closures for every K (never live pointers: a
+  // reset_stats re-sizing the shard vectors must not dangle the registry).
+  // Shards merge ascending, the same discipline as the latency Accum.
+  for (std::size_t l = 0; l < topo_.levels(); ++l) {
+    reg.add_hist_fn(prefix + ".link_latency_hist.l" + std::to_string(l),
+                    [this, l](sim::LogHistogram& out) {
+                      for (const NetStats& s : shards_) {
+                        if (l < s.link_latency_hist.size()) {
+                          out += s.link_latency_hist[l];
+                        }
+                      }
+                    });
+  }
 }
 
 Network::Network(sim::Domains& domains, const NetConfig& config,
@@ -125,6 +153,9 @@ Network::Network(sim::Domains& domains, const NetConfig& config,
   // Seed per-level latencies from the hop_cycles (+ optional per-level
   // step) knobs; callers may overwrite with a non-uniform table afterwards.
   topo_.set_link_latencies(seeded_latencies(config, topo_));
+  if (config_.histograms) {
+    for (NetStats& s : shards_) s.link_latency_hist.resize(topo_.levels());
+  }
 }
 
 Network::Network(sim::Engine& engine, const NetConfig& config,
@@ -139,6 +170,9 @@ Network::Network(sim::Engine& engine, const NetConfig& config,
       multicast_gen_(1, 0),
       shards_(1) {
   topo_.set_link_latencies(seeded_latencies(config, topo_));
+  if (config_.histograms) {
+    for (NetStats& s : shards_) s.link_latency_hist.resize(topo_.levels());
+  }
 }
 
 const NetStats& Network::stats() const {
@@ -149,7 +183,11 @@ const NetStats& Network::stats() const {
 }
 
 void Network::reset_stats() {
-  for (NetStats& s : shards_) s.reset();
+  for (NetStats& s : shards_) {
+    const std::size_t levels = s.link_latency_hist.size();
+    s.reset();
+    s.link_latency_hist.resize(levels);
+  }
 }
 
 sim::Cycle Network::serialization_cycles(std::uint32_t size_bytes) const {
@@ -165,6 +203,7 @@ sim::Cycle Network::reserve_path(std::uint32_t d, RouteWalker& walk,
   const sim::Cycle ser = serialization_cycles(size_bytes);
   const std::size_t base = static_cast<std::size_t>(d) * topo_.num_links();
   NetStats& st = shards_[d];
+  const bool hist = !st.link_latency_hist.empty();
   sim::Cycle t = now;
   LinkRef link;
   while (walk.next(link)) {
@@ -180,7 +219,11 @@ sim::Cycle Network::reserve_path(std::uint32_t d, RouteWalker& walk,
       depart = std::max(t, link_busy_until_[idx]);
       link_busy_until_[idx] = depart + ser;
     }
+    const sim::Cycle entered = t;
     t = depart + topo_.link_latency(link.level);
+    // Per-level traversal latency: queueing behind the link plus
+    // propagation (t - entered).
+    if (hist) st.link_latency_hist[link.level].record(t - entered);
   }
   return t + ser;  // full packet received at destination
 }

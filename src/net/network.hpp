@@ -55,6 +55,9 @@ struct NetConfig {
   /// Models upper fat-tree links (longer cables, more switch stages)
   /// being slower — the regime where hierarchy-aware sync pays off.
   sim::Cycle hop_cycles_per_level = 0;
+  /// Derived from stats.histograms by Machine (not a serialized knob):
+  /// record per-level link traversal latency into LogHistograms.
+  bool histograms = false;
 };
 
 struct NetStats {
@@ -72,6 +75,12 @@ struct NetStats {
   /// synchronization exists to relieve. Struct-only (not in the stats
   /// registry), so snapshots stay byte-identical to pre-hierarchy builds.
   std::array<std::uint64_t, RouteWalker::kMaxLevels> link_traversals_by_level{};
+  /// Per-level link traversal latency (queueing + propagation), one
+  /// histogram per tree level. Empty unless NetConfig::histograms; sized
+  /// to topology levels by the Network ctor. Last: these are cold ~8 KB
+  /// blocks, kept off the counters' cache lines. (A vector keeps NetStats
+  /// copyable — MachineStats embeds a NetStats by value.)
+  std::vector<sim::LogHistogram> link_latency_hist;
 
   void reset() { *this = NetStats{}; }
 
@@ -157,6 +166,11 @@ class Network {
 
   void account(std::uint32_t d, MsgClass cls, std::uint32_t size_bytes,
                sim::Cycle latency, std::uint32_t hops);
+
+  // Appends the per-level link-latency histogram entries (no-op unless
+  // NetConfig::histograms), shared by the K == 1 and K > 1 paths.
+  void register_hist_stats(sim::StatsRegistry& reg,
+                           const std::string& prefix) const;
 
   std::unique_ptr<sim::Domains> owned_domains_;  // serial-ctor backing
   sim::Domains& domains_;

@@ -60,6 +60,7 @@ class Engine {
 
   /// Schedules `fn` to run `delay` cycles from now.
   void schedule(Cycle delay, EventQueue::Callback fn) {
+    if (dispatch_hist_ != nullptr) dispatch_hist_->record(delay);
     queue_.push(now_ + delay, std::move(fn));
   }
 
@@ -67,6 +68,9 @@ class Engine {
   /// clamped to now(): the clock never rewinds, and a clamped event keeps
   /// its FIFO position among other events scheduled for the current cycle.
   void schedule_at(Cycle when, EventQueue::Callback fn) {
+    if (dispatch_hist_ != nullptr) {
+      dispatch_hist_->record(when < now_ ? 0 : when - now_);
+    }
     queue_.push(when < now_ ? now_ : when, std::move(fn));
   }
 
@@ -123,6 +127,12 @@ class Engine {
   /// `prefix + ".queue"`) into a stats registry.
   void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
+  /// Points event-dispatch-delay recording at `h` (cycles between an
+  /// event's scheduling and its execution time, one sample per
+  /// schedule()/schedule_at()). nullptr (the default) disables recording;
+  /// Machine wires a per-domain shard here when stats.histograms is on.
+  void set_dispatch_hist(LogHistogram* h) { dispatch_hist_ = h; }
+
   /// Awaitable that suspends the calling coroutine for `cycles`.
   struct DelayAwaiter {
     Engine& engine;
@@ -163,6 +173,7 @@ class Engine {
   Cycle now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t synthetic_ = 0;
+  LogHistogram* dispatch_hist_ = nullptr;  // owned by Machine; may be null
   EventQueue queue_;
   std::vector<TimerCell> timer_cells_;
   std::uint32_t timer_free_ = kNoCell;

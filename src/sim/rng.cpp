@@ -1,6 +1,7 @@
 #include "sim/rng.hpp"
 
 #include <cassert>
+#include <cmath>
 
 namespace amo::sim {
 
@@ -55,6 +56,13 @@ std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
 
 double Rng::uniform() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential() {
+  // Inverse CDF over the seeded stream: -ln(1 - U) for U in [0, 1).
+  // log1p keeps precision for small U, and 1 - U > 0 always, so the
+  // result is finite and non-negative.
+  return -std::log1p(-uniform());
 }
 
 Rng Rng::split() { return Rng(next()); }

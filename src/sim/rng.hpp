@@ -27,6 +27,12 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform();
 
+  /// Standard-exponential variate (mean 1) by inverse CDF over the same
+  /// seeded stream; scale by a mean interarrival time for Poisson
+  /// arrivals. Consumes exactly one next() draw, so sequences stay
+  /// reproducible across --threads and --sim-threads.
+  double exponential();
+
   /// Creates an independent child stream (for per-thread randomness).
   [[nodiscard]] Rng split();
 

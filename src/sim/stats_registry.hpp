@@ -8,16 +8,25 @@
 // nested, insertion-ordered Json document suitable for the bench `--json`
 // output and CI regression gating.
 //
+// Entries are typed handles, not type-erased Json closures: a plain
+// counter, an Accum, a LogHistogram, or an InlineFnT-held merge closure
+// producing one of those (multi-domain runs use the closures to combine
+// per-domain shards in ascending order). InlineFnT keeps the registry on
+// the same allocation discipline as the event queue — no std::function.
+//
 // Registered pointers are read, never written; the pointed-to objects must
 // outlive the registry (core::Machine owns both sides).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_set>
-#include <vector>
+#include <utility>
+#include <variant>
 
+#include "sim/inline_fn.hpp"
 #include "sim/json.hpp"
 #include "sim/stats.hpp"
 
@@ -29,7 +38,13 @@ class StatsRegistry {
   void add_counter(const std::string& name, const std::uint64_t* counter);
 
   /// Registers a derived value computed at snapshot time.
-  void add_fn(const std::string& name, std::function<std::uint64_t()> fn);
+  template <typename F>
+  void add_fn(const std::string& name, F fn) {
+    add(name, Source(std::in_place_type<InlineFnT<std::uint64_t&>>,
+                     [fn = std::move(fn)](std::uint64_t& out) mutable {
+                       out = fn();
+                     }));
+  }
 
   /// Registers a distribution; it snapshots as an object with
   /// count/sum/min/max/mean/stddev fields.
@@ -38,7 +53,24 @@ class StatsRegistry {
   /// Registers a distribution computed at snapshot time (same JSON shape
   /// as add_accum). Multi-domain runs use this to merge per-domain
   /// accumulator shards into one machine-wide distribution.
-  void add_accum_fn(const std::string& name, std::function<Accum()> fn);
+  template <typename F>
+  void add_accum_fn(const std::string& name, F fn) {
+    add(name, Source(std::in_place_type<InlineFnT<Accum&>>,
+                     [fn = std::move(fn)](Accum& out) mutable { out = fn(); }));
+  }
+
+  /// Registers a histogram; it snapshots as an object with
+  /// count/sum/min/max/mean plus p50/p90/p99/p999 quantile estimates.
+  void add_hist(const std::string& name, const LogHistogram* hist);
+
+  /// Registers a histogram computed at snapshot time (same JSON shape as
+  /// add_hist): `fn` receives an empty LogHistogram and merges the
+  /// per-domain shards into it, ascending.
+  template <typename F>
+  void add_hist_fn(const std::string& name, F fn) {
+    add(name, Source(std::in_place_type<InlineFnT<LogHistogram&>>,
+                     std::move(fn)));
+  }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
@@ -51,15 +83,27 @@ class StatsRegistry {
   [[nodiscard]] Json snapshot() const;
 
  private:
+  using Source =
+      std::variant<const std::uint64_t*, const Accum*, const LogHistogram*,
+                   InlineFnT<std::uint64_t&>, InlineFnT<Accum&>,
+                   InlineFnT<LogHistogram&>>;
+
   struct Entry {
     std::string name;
-    std::function<Json()> read;
+    // InlineFnT invocation is non-const; reading an entry is logically
+    // const, so the source (never the name) is mutable.
+    mutable Source source;
   };
 
-  void add(std::string name, std::function<Json()> read);
+  void add(const std::string& name, Source source);
 
-  std::vector<Entry> entries_;
-  std::unordered_set<std::string> names_;  // duplicate-registration guard
+  static Json read(const Entry& e);
+
+  // A deque keeps Entry addresses stable across growth, so the dedup set
+  // can hold string_views into the stored names instead of duplicating
+  // every key string.
+  std::deque<Entry> entries_;
+  std::unordered_set<std::string_view> names_;  // views into entries_
 };
 
 }  // namespace amo::sim

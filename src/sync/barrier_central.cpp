@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sync/barrier.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -72,7 +73,8 @@ class CentralBarrier final : public Barrier {
 std::unique_ptr<Barrier> make_central_barrier(core::Machine& m,
                                               Mechanism mech,
                                               std::uint32_t participants) {
-  return std::make_unique<CentralBarrier>(m, mech, participants);
+  return with_episode_hist(
+      m, std::make_unique<CentralBarrier>(m, mech, participants));
 }
 
 }  // namespace amo::sync

@@ -6,6 +6,7 @@
 
 #include "net/topology.hpp"
 #include "sync/barrier.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -253,8 +254,9 @@ std::unique_ptr<Barrier> make_cluster_barrier(core::Machine& m,
                                               std::uint32_t participants,
                                               std::uint32_t levels,
                                               bool amu_aggregation) {
-  return std::make_unique<ClusterBarrier>(m, mech, participants, levels,
-                                          amu_aggregation);
+  return with_episode_hist(
+      m, std::make_unique<ClusterBarrier>(m, mech, participants, levels,
+                                          amu_aggregation));
 }
 
 }  // namespace amo::sync

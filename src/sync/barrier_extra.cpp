@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sync/barrier.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -128,12 +129,14 @@ class DisseminationBarrier final : public Barrier {
 
 std::unique_ptr<Barrier> make_naive_barrier(core::Machine& m, Mechanism mech,
                                             std::uint32_t participants) {
-  return std::make_unique<NaiveBarrier>(m, mech, participants);
+  return with_episode_hist(
+      m, std::make_unique<NaiveBarrier>(m, mech, participants));
 }
 
 std::unique_ptr<Barrier> make_dissemination_barrier(
     core::Machine& m, Mechanism mech, std::uint32_t participants) {
-  return std::make_unique<DisseminationBarrier>(m, mech, participants);
+  return with_episode_hist(
+      m, std::make_unique<DisseminationBarrier>(m, mech, participants));
 }
 
 }  // namespace amo::sync

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sync/barrier.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -105,7 +106,8 @@ class McsTreeBarrier final : public Barrier {
 std::unique_ptr<Barrier> make_mcs_tree_barrier(core::Machine& m,
                                                Mechanism mech,
                                                std::uint32_t participants) {
-  return std::make_unique<McsTreeBarrier>(m, mech, participants);
+  return with_episode_hist(
+      m, std::make_unique<McsTreeBarrier>(m, mech, participants));
 }
 
 }  // namespace amo::sync

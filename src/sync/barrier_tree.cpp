@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sync/barrier.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -120,7 +121,8 @@ class TreeBarrier final : public Barrier {
 std::unique_ptr<Barrier> make_tree_barrier(core::Machine& m, Mechanism mech,
                                            std::uint32_t participants,
                                            std::uint32_t fanout) {
-  return std::make_unique<TreeBarrier>(m, mech, participants, fanout);
+  return with_episode_hist(
+      m, std::make_unique<TreeBarrier>(m, mech, participants, fanout));
 }
 
 }  // namespace amo::sync

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -80,7 +81,7 @@ class ArrayLock final : public Lock {
 
 std::unique_ptr<Lock> make_array_lock(core::Machine& m, Mechanism mech,
                                       std::uint32_t slots) {
-  return std::make_unique<ArrayLock>(m, mech, slots);
+  return with_acquire_hist(m, std::make_unique<ArrayLock>(m, mech, slots));
 }
 
 }  // namespace amo::sync

@@ -4,6 +4,7 @@
 
 #include "net/topology.hpp"
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -201,7 +202,8 @@ class CnaLock final : public Lock {
 std::unique_ptr<Lock> make_cna_lock(core::Machine& m, Mechanism mech,
                                     std::uint32_t level,
                                     std::uint32_t threshold) {
-  return std::make_unique<CnaLock>(m, mech, level, threshold);
+  return with_acquire_hist(
+      m, std::make_unique<CnaLock>(m, mech, level, threshold));
 }
 
 }  // namespace amo::sync

@@ -5,6 +5,7 @@
 
 #include "net/topology.hpp"
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -191,7 +192,8 @@ class HmcsLock final : public Lock {
 std::unique_ptr<Lock> make_hmcs_lock(core::Machine& m, Mechanism mech,
                                      std::uint32_t levels,
                                      std::uint32_t threshold) {
-  return std::make_unique<HmcsLock>(m, mech, levels, threshold);
+  return with_acquire_hist(
+      m, std::make_unique<HmcsLock>(m, mech, levels, threshold));
 }
 
 }  // namespace amo::sync

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -88,7 +89,7 @@ class McsLock final : public Lock {
 }  // namespace
 
 std::unique_ptr<Lock> make_mcs_lock(core::Machine& m, Mechanism mech) {
-  return std::make_unique<McsLock>(m, mech);
+  return with_acquire_hist(m, std::make_unique<McsLock>(m, mech));
 }
 
 }  // namespace amo::sync

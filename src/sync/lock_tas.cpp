@@ -2,6 +2,7 @@
 #include <string>
 
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -74,7 +75,7 @@ class TasLock final : public Lock {
 
 std::unique_ptr<Lock> make_tas_lock(core::Machine& m, Mechanism mech,
                                     const TasLockConfig& cfg) {
-  return std::make_unique<TasLock>(m, mech, cfg);
+  return with_acquire_hist(m, std::make_unique<TasLock>(m, mech, cfg));
 }
 
 }  // namespace amo::sync

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "sync/lock.hpp"
+#include "sync/recording.hpp"
 #include "sync/spin.hpp"
 
 namespace amo::sync {
@@ -92,7 +93,7 @@ class TicketLock final : public Lock {
 
 std::unique_ptr<Lock> make_ticket_lock(core::Machine& m, Mechanism mech,
                                        const TicketLockConfig& cfg) {
-  return std::make_unique<TicketLock>(m, mech, cfg);
+  return with_acquire_hist(m, std::make_unique<TicketLock>(m, mech, cfg));
 }
 
 }  // namespace amo::sync
